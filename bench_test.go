@@ -1,0 +1,269 @@
+// Benchmark harness: one benchmark per table of the paper (the paper
+// has seven tables and no figures). Each benchmark regenerates the
+// corresponding artifact and reports the headline quantities as custom
+// metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces every row the paper reports (on the catalog circuits; see
+// DESIGN.md for the synthetic-substitute caveat). The full-suite runs
+// live behind -bench with the scangen/scantrans commands; benchmarks
+// default to the small suite to stay laptop-friendly.
+package scanatpg
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// benchCircuitsT5 are the circuits benchmarked for Tables 5/6; a
+// representative slice of the paper's list that keeps -bench runs
+// under a few minutes.
+var benchCircuitsT5 = []string{"s27", "s298", "s344", "s420", "s526", "b01", "b06"}
+
+// benchCircuitsT7 are the circuits benchmarked for Table 7.
+var benchCircuitsT7 = []string{"s27", "s298", "s344", "b01"}
+
+// BenchmarkTable1_GenerateS27 regenerates the paper's Table 1: the raw
+// Section 2 test sequence for s27_scan. Reported metrics: sequence
+// length (cycles) and scan_sel=1 vectors.
+func BenchmarkTable1_GenerateS27(b *testing.B) {
+	c, err := LoadBenchmark("s27")
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc, err := InsertScan(c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	faults := Faults(sc.Scan, true)
+	var res GenerateResult
+	for i := 0; i < b.N; i++ {
+		res = Generate(sc, faults, GenerateOptions{Seed: 1})
+	}
+	b.ReportMetric(float64(len(res.Sequence)), "cycles")
+	b.ReportMetric(float64(sc.CountScanVectors(res.Sequence)), "scan_vecs")
+	b.ReportMetric(float64(res.NumDetected()), "detected")
+}
+
+// BenchmarkTable2_TestSetS27 regenerates Table 2: a conventional
+// first-approach test set for s27_scan.
+func BenchmarkTable2_TestSetS27(b *testing.B) {
+	c, err := LoadBenchmark("s27")
+	if err != nil {
+		b.Fatal(err)
+	}
+	faults := Faults(c, true)
+	var tests []ScanTest
+	for i := 0; i < b.N; i++ {
+		tests = FirstApproachTestSet(c, faults, 1)
+	}
+	b.ReportMetric(float64(len(tests)), "tests")
+	b.ReportMetric(float64(ConventionalCycles(tests, c.NumFFs())), "conv_cycles")
+}
+
+// BenchmarkTable3_TranslateS27 regenerates Table 3: translating the
+// conventional test set into one flat C_scan sequence.
+func BenchmarkTable3_TranslateS27(b *testing.B) {
+	c, err := LoadBenchmark("s27")
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc, err := InsertScan(c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	faults := Faults(c, true)
+	tests := FirstApproachTestSet(c, faults, 1)
+	var seq Sequence
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		seq, err = Translate(sc, tests, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(seq)), "cycles")
+	b.ReportMetric(float64(sc.CountScanVectors(seq)), "scan_vecs")
+}
+
+// BenchmarkTable4_CompactS27 regenerates Table 4: restoration followed
+// by omission on the raw s27_scan sequence.
+func BenchmarkTable4_CompactS27(b *testing.B) {
+	c, err := LoadBenchmark("s27")
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc, err := InsertScan(c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	faults := Faults(sc.Scan, true)
+	gen := Generate(sc, faults, GenerateOptions{Seed: 1})
+	var compacted Sequence
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		compacted, _ = Compact(sc, gen.Sequence, faults)
+	}
+	b.ReportMetric(float64(len(gen.Sequence)), "raw_cycles")
+	b.ReportMetric(float64(len(compacted)), "cycles")
+	b.ReportMetric(float64(sc.CountScanVectors(compacted)), "scan_vecs")
+}
+
+// BenchmarkTable5_Generation regenerates Table 5 rows: fault coverage
+// of the Section 2 generator per circuit. Metrics: fault coverage,
+// faults detected via scan knowledge.
+func BenchmarkTable5_Generation(b *testing.B) {
+	cfg := core.DefaultConfig()
+	cfg.SkipBaseline = true
+	cfg.SkipCompaction = true
+	for _, name := range benchCircuitsT5 {
+		b.Run(name, func(b *testing.B) {
+			var row GenerateRow
+			for i := 0; i < b.N; i++ {
+				var err error
+				row, err = RunGenerateFlow(name, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(row.FCov, "fcov_pct")
+			b.ReportMetric(float64(row.Funct), "funct")
+			b.ReportMetric(float64(row.TestLen), "cycles")
+		})
+	}
+}
+
+// BenchmarkTable6_GenerateCompact regenerates Table 6 rows: generation
+// plus restoration plus omission against the conventional baseline.
+// Metrics: compacted length, scan vectors, baseline cycles.
+func BenchmarkTable6_GenerateCompact(b *testing.B) {
+	cfg := core.DefaultConfig()
+	for _, name := range benchCircuitsT5 {
+		b.Run(name, func(b *testing.B) {
+			var row GenerateRow
+			for i := 0; i < b.N; i++ {
+				var err error
+				row, err = RunGenerateFlow(name, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(row.TestLen), "raw_cycles")
+			b.ReportMetric(float64(row.RestorLen), "restor_cycles")
+			b.ReportMetric(float64(row.OmitLen), "omit_cycles")
+			b.ReportMetric(float64(row.OmitScan), "omit_scan")
+			b.ReportMetric(float64(row.BaselineCycles), "baseline_cycles")
+		})
+	}
+}
+
+// BenchmarkTable7_TranslateCompact regenerates Table 7 rows: a
+// conventional test set translated and compacted, versus its
+// conventional application time.
+func BenchmarkTable7_TranslateCompact(b *testing.B) {
+	cfg := core.DefaultConfig()
+	for _, name := range benchCircuitsT7 {
+		b.Run(name, func(b *testing.B) {
+			var row TranslateRow
+			for i := 0; i < b.N; i++ {
+				var err error
+				row, err = RunTranslateFlow(name, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(row.TestLen), "translated_cycles")
+			b.ReportMetric(float64(row.OmitLen), "omit_cycles")
+			b.ReportMetric(float64(row.Cycles), "conv_cycles")
+		})
+	}
+}
+
+// BenchmarkMultiChainAblation quantifies the paper's "easily applied to
+// multiple scan chains" note: the same generator and compaction run on
+// 1, 2 and 4 chains. Metrics: complete-scan cost and compacted length.
+func BenchmarkMultiChainAblation(b *testing.B) {
+	c, err := LoadBenchmark("s298")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, n := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("chains=%d", n), func(b *testing.B) {
+			ch, err := InsertScanChains(c, n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			faults := Faults(ch.Scan, true)
+			var omitted Sequence
+			for i := 0; i < b.N; i++ {
+				gen := Generate(ch, faults, GenerateOptions{Seed: 1})
+				restored, _ := Restore(ch.Scan, gen.Sequence, faults)
+				omitted, _ = Omit(ch.Scan, restored, faults)
+			}
+			b.ReportMetric(float64(ch.MaxLen()), "complete_scan_cycles")
+			b.ReportMetric(float64(len(omitted)), "omit_cycles")
+		})
+	}
+}
+
+// BenchmarkAtSpeedTransitionCoverage grades stuck-at test sequences for
+// gross-delay transition faults. The paper's representation applies
+// every vector at-speed, so its sequences collect transition coverage
+// for free; this bench compares the native Section 2 sequence with a
+// translated conventional test set on the same circuit.
+func BenchmarkAtSpeedTransitionCoverage(b *testing.B) {
+	c, err := LoadBenchmark("s298")
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc, err := InsertScan(c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	saFaults := Faults(sc.Scan, true)
+	tFaults := TransitionFaults(sc.Scan)
+	gen := Generate(sc, saFaults, GenerateOptions{Seed: 1})
+	tests := FirstApproachTestSet(c, Faults(c, true), 1)
+	translated, err := Translate(sc, tests, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cover := func(seq Sequence) float64 {
+		det := 0
+		for _, t := range GradeTransitions(sc.Scan, seq, tFaults) {
+			if t >= 0 {
+				det++
+			}
+		}
+		return 100 * float64(det) / float64(len(tFaults))
+	}
+	b.Run("native-sequence", func(b *testing.B) {
+		var cov float64
+		for i := 0; i < b.N; i++ {
+			cov = cover(gen.Sequence)
+		}
+		b.ReportMetric(cov, "transition_cov_pct")
+	})
+	b.Run("translated-conventional", func(b *testing.B) {
+		var cov float64
+		for i := 0; i < b.N; i++ {
+			cov = cover(translated)
+		}
+		b.ReportMetric(cov, "transition_cov_pct")
+	})
+}
+
+// ExampleGenerate demonstrates the facade end to end and doubles as a
+// doc test.
+func ExampleGenerate() {
+	c, _ := LoadBenchmark("s27")
+	sc, _ := InsertScan(c)
+	faults := Faults(sc.Scan, true)
+	res := Generate(sc, faults, GenerateOptions{Seed: 1})
+	fmt.Println(res.NumDetected() == len(faults))
+	// Output: true
+}

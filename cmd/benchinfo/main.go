@@ -1,0 +1,106 @@
+// Command benchinfo prints statistics for catalog circuits and can dump
+// them (or their scan-inserted versions) in ISCAS-89 .bench format.
+//
+// Usage:
+//
+//	benchinfo -all
+//	benchinfo -circuit s27 -dump
+//	benchinfo -circuit s298 -scan -dump > s298_scan.bench
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/circuits"
+	"repro/internal/fault"
+	"repro/internal/netlist"
+	"repro/internal/scan"
+	"repro/internal/testability"
+)
+
+func main() {
+	var (
+		circuit = flag.String("circuit", "", "catalog circuit name")
+		all     = flag.Bool("all", false, "summarize every catalog circuit")
+		dump    = flag.Bool("dump", false, "dump the netlist in .bench format")
+		doScan  = flag.Bool("scan", false, "operate on the scan-inserted circuit")
+		scoap   = flag.Bool("scoap", false, "print the hardest-to-test signals (SCOAP)")
+	)
+	flag.Parse()
+
+	switch {
+	case *all:
+		fmt.Printf("%-8s %5s %5s %5s %6s %7s %7s %10s\n",
+			"circ", "in", "out", "ffs", "gates", "levels", "faults", "kind")
+		for _, e := range circuits.Catalog() {
+			c, err := circuits.Load(e.Name)
+			if err != nil {
+				fail(err)
+			}
+			c = maybeScan(c, *doScan)
+			st := c.Stats()
+			kind := "real"
+			if e.Synthetic {
+				kind = "synthetic"
+			}
+			if e.Scaled {
+				kind += "/scaled"
+			}
+			fmt.Printf("%-8s %5d %5d %5d %6d %7d %7d %10s\n",
+				e.Name, st.Inputs, st.Outputs, st.FFs, st.Gates, st.MaxLevel,
+				len(fault.Universe(c, true)), kind)
+		}
+	case *circuit != "":
+		c, err := circuits.Load(*circuit)
+		if err != nil {
+			fail(err)
+		}
+		c = maybeScan(c, *doScan)
+		if *dump {
+			if err := bench.Write(os.Stdout, c); err != nil {
+				fail(err)
+			}
+			return
+		}
+		st := c.Stats()
+		fmt.Printf("circuit:  %s\n", c.Name)
+		fmt.Printf("inputs:   %d\n", st.Inputs)
+		fmt.Printf("outputs:  %d\n", st.Outputs)
+		fmt.Printf("ffs:      %d\n", st.FFs)
+		fmt.Printf("gates:    %d\n", st.Gates)
+		fmt.Printf("levels:   %d\n", st.MaxLevel)
+		fmt.Printf("faults:   %d collapsed, %d uncollapsed\n",
+			len(fault.Universe(c, true)), len(fault.Universe(c, false)))
+		if *scoap {
+			m := testability.Compute(c)
+			fmt.Println("hardest signals (stuck-at-0 detection cost, SCOAP CC1+CO):")
+			for _, s := range m.Hardest(c, true, 10) {
+				fmt.Printf("  %-12s CC0=%-5d CC1=%-5d CO=%d\n",
+					c.SignalName(s), m.CC0[s], m.CC1[s], m.CO[s])
+			}
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "benchinfo: need -circuit NAME or -all")
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func maybeScan(c *netlist.Circuit, doScan bool) *netlist.Circuit {
+	if !doScan {
+		return c
+	}
+	sc, err := scan.Insert(c)
+	if err != nil {
+		fail(err)
+	}
+	return sc.Scan
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "benchinfo:", err)
+	os.Exit(1)
+}

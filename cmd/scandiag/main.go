@@ -1,0 +1,121 @@
+// Command scandiag builds a fault dictionary for a test sequence and
+// runs dictionary-based diagnosis experiments: it injects each sampled
+// fault as the "defect", collects the failures a tester would observe,
+// and checks where the true fault ranks among the dictionary's
+// candidates.
+//
+// Usage:
+//
+//	scandiag -circuit s298                 # generate + compact, then diagnose a sample
+//	scandiag -circuit s298 -sample 5       # denser defect sampling
+//	scandiag -circuit s298 -seq seq.txt    # diagnose with a given sequence
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/circuits"
+	"repro/internal/compact"
+	"repro/internal/diagnose"
+	"repro/internal/fault"
+	"repro/internal/logic"
+	"repro/internal/scan"
+	"repro/internal/seqatpg"
+)
+
+func main() {
+	var (
+		circuit    = flag.String("circuit", "", "catalog circuit name")
+		seqFile    = flag.String("seq", "", "sequence file (default: generate and compact one)")
+		seed       = flag.Uint64("seed", 1, "random seed for generation")
+		sample     = flag.Int("sample", 13, "diagnose every Nth fault as the defect")
+		noCompact  = flag.Bool("no-compact", false, "skip compaction of the generated sequence")
+		noCollapse = flag.Bool("no-collapse", false, "disable fault equivalence collapsing")
+	)
+	flag.Parse()
+	if *circuit == "" {
+		fmt.Fprintln(os.Stderr, "scandiag: need -circuit NAME")
+		flag.Usage()
+		os.Exit(2)
+	}
+	c, err := circuits.Load(*circuit)
+	if err != nil {
+		fail(err)
+	}
+	sc, err := scan.Insert(c)
+	if err != nil {
+		fail(err)
+	}
+	faults := fault.Universe(sc.Scan, !*noCollapse)
+
+	var seq logic.Sequence
+	if *seqFile != "" {
+		data, err := os.ReadFile(*seqFile)
+		if err != nil {
+			fail(err)
+		}
+		seq, err = logic.ParseSequence(string(data))
+		if err != nil {
+			fail(err)
+		}
+	} else {
+		res := seqatpg.Generate(sc, faults, seqatpg.Options{Seed: *seed})
+		seq = res.Sequence
+		if !*noCompact {
+			restored, _ := compact.Restore(sc.Scan, seq, faults)
+			seq, _ = compact.Omit(sc.Scan, restored, faults)
+		}
+	}
+	fmt.Printf("circuit %s_scan: %d faults, sequence of %d cycles\n",
+		*circuit, len(faults), len(seq))
+
+	d := diagnose.Build(sc.Scan, seq, faults)
+	groups := d.Equivalent()
+	fmt.Printf("dictionary: diagnostic resolution %.3f, %d indistinguishable groups\n",
+		d.Resolution(), len(groups))
+
+	if *sample <= 0 {
+		*sample = 13
+	}
+	trials, top1, top3, exact := 0, 0, 0, 0
+	for fi := 0; fi < len(faults); fi += *sample {
+		sig := d.Signatures[fi]
+		if len(sig) == 0 {
+			continue
+		}
+		trials++
+		cands := d.Diagnose(sig)
+		if len(cands) == 0 {
+			continue
+		}
+		if cands[0].Missed == 0 && cands[0].Extra == 0 {
+			exact++
+		}
+		for rank, cand := range cands {
+			if rank >= 3 {
+				break
+			}
+			if cand.Index == fi {
+				top3++
+				if rank == 0 {
+					top1++
+				}
+				break
+			}
+		}
+	}
+	if trials == 0 {
+		fmt.Println("no detected faults to diagnose")
+		return
+	}
+	fmt.Printf("diagnosed %d sampled defects: rank-1 %d (%.0f%%), top-3 %d (%.0f%%), exact signatures %d\n",
+		trials, top1, 100*float64(top1)/float64(trials),
+		top3, 100*float64(top3)/float64(trials), exact)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "scandiag:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,128 @@
+// Command scangen runs the paper's test generation flow (Section 2) and
+// static compaction (Section 4) on benchmark circuits, regenerating
+// Tables 1, 4, 5 and 6.
+//
+// Usage:
+//
+//	scangen -circuit s27 -print-seq           # Table 1: raw sequence
+//	scangen -circuit s27 -compact -print-seq  # Table 4: compacted sequence
+//	scangen -suite small                      # Tables 5 and 6 over the small suite
+//	scangen -suite full -no-baseline          # Table 5 over every circuit
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		circuit    = flag.String("circuit", "", "single catalog circuit to run")
+		suite      = flag.String("suite", "", "run a whole suite: small, medium or full")
+		seed       = flag.Uint64("seed", 1, "random seed")
+		doCompact  = flag.Bool("compact", false, "with -circuit: compact the generated sequence")
+		printSeq   = flag.Bool("print-seq", false, "with -circuit: print the sequence as a paper-style table")
+		noBaseline = flag.Bool("no-baseline", false, "skip the conventional-scan baseline")
+		noCollapse = flag.Bool("no-collapse", false, "disable fault equivalence collapsing")
+		omitCap    = flag.Int("omit-cap", 0, "skip omission when the restored sequence exceeds this many vectors (0 = never)")
+		chains     = flag.Int("chains", 1, "number of scan chains (generation flow)")
+		outFile    = flag.String("out", "", "with -circuit: write the (compacted) sequence to this file")
+		verbose    = flag.Bool("v", false, "progress to stderr")
+	)
+	flag.Parse()
+
+	cfg := core.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.Collapse = !*noCollapse
+	cfg.SkipBaseline = *noBaseline
+	cfg.OmitLenCap = *omitCap
+	cfg.Chains = *chains
+
+	switch {
+	case *circuit != "":
+		runSingle(*circuit, cfg, *doCompact, *printSeq, *outFile)
+	case *suite != "":
+		runSuite(*suite, cfg, *verbose)
+	default:
+		fmt.Fprintln(os.Stderr, "scangen: need -circuit NAME or -suite small|medium|full")
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func runSingle(name string, cfg core.Config, doCompact, printSeq bool, outFile string) {
+	cfg.SkipCompaction = !doCompact
+	row, art, err := core.RunGenerate(name, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scangen:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("circuit %s: %d inputs, %d state variables, %d faults\n",
+		row.Circ, row.Inp, row.Stvr, row.Faults)
+	fmt.Printf("detected %d (%.2f%%), %d via scan knowledge\n", row.Detected, row.FCov, row.Funct)
+	fmt.Printf("test length %d (%d scan vectors)\n", row.TestLen, row.TestScan)
+	if doCompact {
+		fmt.Printf("after restoration: %d (%d scan)\n", row.RestorLen, row.RestorScan)
+		fmt.Printf("after omission:    %d (%d scan)\n", row.OmitLen, row.OmitScan)
+		if row.ExtDet > 0 {
+			fmt.Printf("extra faults detected by compaction: %d\n", row.ExtDet)
+		}
+	}
+	if row.BaselineCycles > 0 {
+		fmt.Printf("conventional-scan baseline: %d cycles\n", row.BaselineCycles)
+	}
+	if outFile != "" {
+		seq := art.Raw
+		if doCompact {
+			seq = art.Omitted
+		}
+		if err := os.WriteFile(outFile, []byte(seq.String()+"\n"), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "scangen:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("sequence written to %s\n", outFile)
+	}
+	if printSeq {
+		seq := art.Raw
+		title := fmt.Sprintf("Test sequence for %s_scan (Table 1 style)", name)
+		if doCompact {
+			seq = art.Omitted
+			title = fmt.Sprintf("Compacted test sequence for %s_scan (Table 4 style)", name)
+		}
+		fmt.Println()
+		fmt.Print(report.SequenceTable(art.Scan, seq, title))
+		fmt.Printf("\nscan_sel=1 run lengths: %v (chain length %d)\n",
+			report.ScanRuns(art.Scan, seq), art.Scan.NumStateVars())
+	}
+}
+
+func runSuite(which string, cfg core.Config, verbose bool) {
+	var names []string
+	switch which {
+	case "small":
+		names = core.SmallSuite
+	case "medium":
+		names = core.MediumSuite
+	case "full":
+		names = core.FullSuite
+	default:
+		fmt.Fprintf(os.Stderr, "scangen: unknown suite %q\n", which)
+		os.Exit(2)
+	}
+	prog := core.Progress{}
+	if verbose {
+		prog.Log = os.Stderr
+	}
+	rows, err := core.RunGenerateSuite(names, cfg, prog)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scangen:", err)
+		os.Exit(1)
+	}
+	fmt.Print(report.Table5(rows))
+	fmt.Println()
+	fmt.Print(report.Table6(rows))
+}

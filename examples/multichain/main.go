@@ -1,0 +1,50 @@
+// Multiple scan chains: the paper's noted generalization.
+//
+// The same Section 2 generator runs unchanged on a circuit with 1, 2
+// and 4 scan chains (scan_sel shared, one scan_inp/scan_out per chain).
+// More chains shorten every scan operation — a complete load takes only
+// the longest chain's length — so the compacted test application time
+// drops further.
+//
+// Run with:
+//
+//	go run ./examples/multichain [circuit]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	scanatpg "repro"
+)
+
+func main() {
+	name := "s298"
+	if len(os.Args) > 1 {
+		name = os.Args[1]
+	}
+	c, err := scanatpg.LoadBenchmark(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("circuit %s: %d flip-flops\n\n", name, c.NumFFs())
+	fmt.Printf("%7s %8s %7s %7s %10s %10s\n",
+		"chains", "maxlen", "faults", "fcov%", "raw cyc", "compact cyc")
+
+	for _, n := range []int{1, 2, 4} {
+		ch, err := scanatpg.InsertScanChains(c, n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		faults := scanatpg.Faults(ch.Scan, true)
+		gen := scanatpg.Generate(ch, faults, scanatpg.GenerateOptions{Seed: 1})
+		restored, _ := scanatpg.Restore(ch.Scan, gen.Sequence, faults)
+		omitted, _ := scanatpg.Omit(ch.Scan, restored, faults)
+		fcov := 100 * float64(gen.NumDetected()) / float64(len(faults))
+		fmt.Printf("%7d %8d %7d %7.2f %10d %10d\n",
+			n, ch.MaxLen(), len(faults), fcov, len(gen.Sequence), len(omitted))
+	}
+	fmt.Println("\nmore chains -> shorter scan operations -> shorter compacted sequences,")
+	fmt.Println("with the generator and compaction procedures completely unchanged.")
+}

@@ -1,0 +1,167 @@
+// Package bench reads and writes circuits in the ISCAS-89 ".bench"
+// format, the standard interchange format for the benchmark circuits the
+// paper evaluates on.
+//
+// The accepted grammar (case-insensitive keywords, '#' comments):
+//
+//	INPUT(name)
+//	OUTPUT(name)
+//	name = DFF(d)
+//	name = GATE(in1, in2, ...)   GATE in {BUF, NOT, AND, NAND, OR, NOR, XOR, XNOR}
+package bench
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/netlist"
+)
+
+// Parse reads a .bench description and returns the built circuit.
+// name becomes the circuit name.
+func Parse(r io.Reader, name string) (*netlist.Circuit, error) {
+	b := netlist.NewBuilder(name)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if err := parseLine(b, line); err != nil {
+			return nil, fmt.Errorf("bench: line %d: %w", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("bench: %w", err)
+	}
+	return b.Build()
+}
+
+// ParseString is Parse on a string.
+func ParseString(text, name string) (*netlist.Circuit, error) {
+	return Parse(strings.NewReader(text), name)
+}
+
+func parseLine(b *netlist.Builder, line string) error {
+	upper := strings.ToUpper(line)
+	switch {
+	case strings.HasPrefix(upper, "INPUT"):
+		arg, err := parenArg(line[len("INPUT"):])
+		if err != nil {
+			return err
+		}
+		b.AddInput(arg)
+		return nil
+	case strings.HasPrefix(upper, "OUTPUT"):
+		arg, err := parenArg(line[len("OUTPUT"):])
+		if err != nil {
+			return err
+		}
+		b.MarkOutput(arg)
+		return nil
+	}
+	eq := strings.IndexByte(line, '=')
+	if eq < 0 {
+		return fmt.Errorf("unrecognized statement %q", line)
+	}
+	out := strings.TrimSpace(line[:eq])
+	rhs := strings.TrimSpace(line[eq+1:])
+	open := strings.IndexByte(rhs, '(')
+	closeP := strings.LastIndexByte(rhs, ')')
+	if open < 0 || closeP < open {
+		return fmt.Errorf("malformed gate expression %q", rhs)
+	}
+	fn := strings.ToUpper(strings.TrimSpace(rhs[:open]))
+	var args []string
+	for _, a := range strings.Split(rhs[open+1:closeP], ",") {
+		a = strings.TrimSpace(a)
+		if a == "" {
+			return fmt.Errorf("empty operand in %q", rhs)
+		}
+		args = append(args, a)
+	}
+	if fn == "DFF" {
+		if len(args) != 1 {
+			return fmt.Errorf("DFF %q requires exactly 1 input", out)
+		}
+		b.AddFF(out, args[0])
+		return nil
+	}
+	t, err := netlist.ParseGateType(fn)
+	if err != nil {
+		return err
+	}
+	b.AddGate(t, out, args...)
+	return nil
+}
+
+func parenArg(s string) (string, error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "(") || !strings.HasSuffix(s, ")") {
+		return "", fmt.Errorf("expected parenthesized name, got %q", s)
+	}
+	arg := strings.TrimSpace(s[1 : len(s)-1])
+	if arg == "" {
+		return "", fmt.Errorf("empty name in %q", s)
+	}
+	return arg, nil
+}
+
+// Write emits the circuit in .bench format. Gates are written in
+// evaluation order; the output is stable for a given circuit.
+func Write(w io.Writer, c *netlist.Circuit) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# %s\n", c.Name)
+	fmt.Fprintf(bw, "# %d inputs, %d outputs, %d D-type flip-flops, %d gates\n",
+		c.NumInputs(), c.NumOutputs(), c.NumFFs(), c.NumGates())
+	for _, in := range c.Inputs {
+		fmt.Fprintf(bw, "INPUT(%s)\n", c.SignalName(in))
+	}
+	for _, out := range c.Outputs {
+		fmt.Fprintf(bw, "OUTPUT(%s)\n", c.SignalName(out))
+	}
+	fmt.Fprintln(bw)
+	for _, ff := range c.FFs {
+		fmt.Fprintf(bw, "%s = DFF(%s)\n", c.SignalName(ff.Q), c.SignalName(ff.D))
+	}
+	for _, gi := range c.Order {
+		g := c.Gates[gi]
+		names := make([]string, len(g.In))
+		for i, in := range g.In {
+			names[i] = c.SignalName(in)
+		}
+		fmt.Fprintf(bw, "%s = %s(%s)\n", c.SignalName(g.Out), g.Type, strings.Join(names, ", "))
+	}
+	return bw.Flush()
+}
+
+// Format returns the .bench text of the circuit.
+func Format(c *netlist.Circuit) string {
+	var sb strings.Builder
+	if err := Write(&sb, c); err != nil {
+		// strings.Builder never errors; keep the API honest anyway.
+		panic(err)
+	}
+	return sb.String()
+}
+
+// Names returns all signal names of the circuit, sorted, mainly for
+// diagnostics and tests.
+func Names(c *netlist.Circuit) []string {
+	names := make([]string, len(c.Signals))
+	for i, s := range c.Signals {
+		names[i] = s.Name
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,97 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/netlist"
+)
+
+const tiny = `
+# a tiny circuit
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+q = DFF(d)
+n1 = AND(a, b)   # inline comment
+d  =  OR ( n1 , q )
+y = NOT(q)
+`
+
+func TestParseTiny(t *testing.T) {
+	c, err := ParseString(tiny, "tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumInputs() != 2 || c.NumOutputs() != 1 || c.NumFFs() != 1 || c.NumGates() != 3 {
+		t.Fatalf("parsed sizes wrong: %+v", c.Stats())
+	}
+	d, ok := c.SignalByName("d")
+	if !ok {
+		t.Fatal("signal d missing")
+	}
+	g := c.Gates[c.Signals[d].Driver]
+	if g.Type != netlist.OR || len(g.In) != 2 {
+		t.Errorf("d gate = %v/%d", g.Type, len(g.In))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"INPUT a",
+		"INPUT()",
+		"g = FROB(a)",
+		"garbage line",
+		"g = AND(a,)",
+		"q = DFF(a, b)",
+	}
+	for _, text := range cases {
+		full := "INPUT(a)\nOUTPUT(g)\n" + text + "\n"
+		if _, err := Parse(strings.NewReader(full), "bad"); err == nil {
+			t.Errorf("accepted %q", text)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	c, err := ParseString(tiny, "tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := Format(c)
+	c2, err := ParseString(text, "tiny")
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, text)
+	}
+	if c2.NumInputs() != c.NumInputs() || c2.NumGates() != c.NumGates() ||
+		c2.NumFFs() != c.NumFFs() || c2.NumOutputs() != c.NumOutputs() {
+		t.Error("round trip changed circuit sizes")
+	}
+	// Idempotence: formatting the re-parsed circuit gives identical text.
+	if text2 := Format(c2); text2 != text {
+		t.Error("Format not stable across round trip")
+	}
+}
+
+func TestCaseInsensitiveKeywords(t *testing.T) {
+	c, err := ParseString("input(a)\noutput(y)\ny = not(a)\n", "ci")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumGates() != 1 || c.Gates[0].Type != netlist.NOT {
+		t.Error("lower-case keywords not handled")
+	}
+}
+
+func TestNames(t *testing.T) {
+	c, _ := ParseString(tiny, "tiny")
+	names := Names(c)
+	if len(names) != len(c.Signals) {
+		t.Fatal("Names length mismatch")
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] > names[i] {
+			t.Fatal("Names not sorted")
+		}
+	}
+}

@@ -1,0 +1,36 @@
+package bench_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bench"
+	"repro/internal/circuits"
+)
+
+// TestRoundTripProperty: Format/Parse is the identity (up to stable
+// re-formatting) for randomly synthesized circuits.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		c, err := circuits.Synthesize(circuits.Params{
+			Name: "rt", Inputs: 3, FFs: 4, Gates: 30, Outputs: 2, Seed: seed,
+		})
+		if err != nil {
+			return false
+		}
+		text := bench.Format(c)
+		c2, err := bench.ParseString(text, "rt")
+		if err != nil {
+			return false
+		}
+		if c2.NumInputs() != c.NumInputs() || c2.NumOutputs() != c.NumOutputs() ||
+			c2.NumFFs() != c.NumFFs() || c2.NumGates() != c.NumGates() {
+			return false
+		}
+		// Stable: re-formatting the re-parsed circuit is identical.
+		return bench.Format(c2) == text
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,137 @@
+// Package check validates the invariants that tie the library's pieces
+// together: sequences must fit their circuit, generation results must
+// be reproducible by independent simulation, compaction must preserve
+// detection, and translation must be cycle-neutral. The experiment
+// flows and the test suite both lean on these checks, and scansim can
+// apply them to externally supplied artifacts.
+package check
+
+import (
+	"fmt"
+
+	"repro/internal/fault"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/scan"
+	"repro/internal/seqatpg"
+	"repro/internal/sim"
+	"repro/internal/translate"
+)
+
+// Sequence validates structural properties of a test sequence for a
+// circuit: consistent vector widths matching the input count, and —
+// when fullySpecified — no X values (a releasable tester sequence is
+// always binary).
+func Sequence(c *netlist.Circuit, seq logic.Sequence, fullySpecified bool) error {
+	for t, v := range seq {
+		if len(v) != c.NumInputs() {
+			return fmt.Errorf("check: vector %d has width %d, circuit has %d inputs",
+				t, len(v), c.NumInputs())
+		}
+		if fullySpecified && !v.Specified() {
+			return fmt.Errorf("check: vector %d contains X values", t)
+		}
+		for i, x := range v {
+			if x != logic.Zero && x != logic.One && x != logic.X {
+				return fmt.Errorf("check: vector %d position %d holds invalid value %d", t, i, x)
+			}
+		}
+	}
+	return nil
+}
+
+// GenerateResult confirms every detection a generator claims by
+// independent fault simulation of the final sequence. Claims the
+// simulator cannot reproduce are protocol violations, not heuristic
+// misses.
+func GenerateResult(c *netlist.Circuit, res seqatpg.Result, faults []fault.Fault) error {
+	if len(res.DetectedAt) != len(faults) {
+		return fmt.Errorf("check: result covers %d faults, universe has %d", len(res.DetectedAt), len(faults))
+	}
+	ref := sim.Run(c, res.Sequence, faults, sim.Options{})
+	for fi := range faults {
+		if res.DetectedAt[fi] == sim.NotDetected {
+			continue
+		}
+		if !ref.Detected(fi) {
+			return fmt.Errorf("check: claimed detection of %s not reproduced", faults[fi].Name(c))
+		}
+		if res.DetectedAt[fi] < 0 || res.DetectedAt[fi] >= len(res.Sequence) {
+			return fmt.Errorf("check: detection time %d of %s out of range", res.DetectedAt[fi], faults[fi].Name(c))
+		}
+	}
+	for fi, isFunct := range res.Funct {
+		if isFunct && res.DetectedAt[fi] == sim.NotDetected {
+			return fmt.Errorf("check: fault %s marked funct but undetected", faults[fi].Name(c))
+		}
+	}
+	return nil
+}
+
+// Compaction confirms the compacted sequence detects every fault the
+// original detected and did not grow.
+func Compaction(c *netlist.Circuit, before, after logic.Sequence, faults []fault.Fault) error {
+	if len(after) > len(before) {
+		return fmt.Errorf("check: compaction grew the sequence: %d -> %d", len(before), len(after))
+	}
+	b := sim.Run(c, before, faults, sim.Options{})
+	a := sim.Run(c, after, faults, sim.Options{})
+	for fi := range faults {
+		if b.Detected(fi) && !a.Detected(fi) {
+			return fmt.Errorf("check: compaction lost %s", faults[fi].Name(c))
+		}
+	}
+	return nil
+}
+
+// Translation confirms a translated sequence is cycle-neutral for its
+// test set and structurally sound for the design. completeScanCost is
+// the cycles of one complete scan operation (chain length, or longest
+// chain for a multi-chain design).
+func Translation(sc scan.Design, tests []translate.ScanTest, seq logic.Sequence, completeScanCost int) error {
+	if want := translate.Cycles(tests, completeScanCost); len(seq) != want {
+		return fmt.Errorf("check: translated length %d, conventional schedule %d", len(seq), want)
+	}
+	return Sequence(sc.ScanCircuit(), seq, true)
+}
+
+// ScanStructure validates a scan design's bookkeeping against its
+// circuit: the select input exists, flush lengths are within range, and
+// loading any state through the chain really establishes it.
+func ScanStructure(sc scan.Design) error {
+	c := sc.ScanCircuit()
+	if sc.SelInput() < 0 || sc.SelInput() >= c.NumInputs() {
+		return fmt.Errorf("check: scan_sel position %d out of range", sc.SelInput())
+	}
+	if sc.NumStateVars() != c.NumFFs() {
+		return fmt.Errorf("check: %d state variables vs %d flip-flops", sc.NumStateVars(), c.NumFFs())
+	}
+	for f := 0; f < c.NumFFs(); f++ {
+		if fl := sc.FlushLength(f); fl < 0 || fl >= sc.NumStateVars() {
+			return fmt.Errorf("check: flush length %d of flip-flop %d out of range", fl, f)
+		}
+	}
+	// Load an alternating pattern and verify it lands.
+	state := make([]logic.Value, sc.NumStateVars())
+	for i := range state {
+		state[i] = logic.Zero
+		if i%2 == 1 {
+			state[i] = logic.One
+		}
+	}
+	seq, err := sc.ScanInSequence(state)
+	if err != nil {
+		return fmt.Errorf("check: scan-in rejected a full-width state: %v", err)
+	}
+	m := sim.New(c)
+	for _, v := range seq {
+		m.Step(v)
+	}
+	got := m.StateSlot(0)
+	for i := range state {
+		if got[i] != state[i] {
+			return fmt.Errorf("check: scan-in left flip-flop %d at %v, want %v", i, got[i], state[i])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,129 @@
+package circuits
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/sim"
+)
+
+func TestLoadS27IsReal(t *testing.T) {
+	c, err := Load("s27")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumInputs() != 4 || c.NumOutputs() != 1 || c.NumFFs() != 3 || c.NumGates() != 10 {
+		t.Fatalf("s27 sizes wrong: %+v", c.Stats())
+	}
+	// Functional spot check: the ISCAS-89 s27 output G17 = NOT(G11).
+	// With state known, verify one full evaluation. Set the state via
+	// direct state assignment: G5=0, G6=1, G7=0 and inputs 0 1 0 1.
+	m := sim.New(c)
+	m.SetStateBroadcast([]logic.Value{logic.Zero, logic.One, logic.Zero})
+	v, _ := logic.ParseVector("0101")
+	m.Step(v)
+	// G14=NOT(0)=1, G8=AND(1,1)=1, G12=NOR(1,0)=0, G15=OR(0,1)=1,
+	// G16=OR(1,1)=1, G9=NAND(1,1)=0, G11=NOR(0,0)=1, G17=NOT(1)=0.
+	if got := m.OutputSlot(0, 0); got != logic.Zero {
+		t.Errorf("G17 = %v, want 0", got)
+	}
+}
+
+func TestCatalogCoversPaperSuite(t *testing.T) {
+	want := []string{
+		"s27", "s208", "s298", "s344", "s382", "s386", "s400", "s420",
+		"s444", "s510", "s526", "s641", "s820", "s953", "s1196",
+		"s1423", "s1488", "s5378", "s35932",
+		"b01", "b02", "b03", "b04", "b06", "b09", "b10", "b11",
+	}
+	have := map[string]bool{}
+	for _, n := range Names() {
+		have[n] = true
+	}
+	for _, n := range want {
+		if !have[n] {
+			t.Errorf("catalog missing %s", n)
+		}
+	}
+}
+
+func TestLoadAllCatalogEntries(t *testing.T) {
+	for _, e := range Catalog() {
+		c, err := Load(e.Name)
+		if err != nil {
+			t.Fatalf("Load(%s): %v", e.Name, err)
+		}
+		if e.Synthetic {
+			if c.NumInputs() != e.Params.Inputs {
+				t.Errorf("%s: inputs = %d, want %d", e.Name, c.NumInputs(), e.Params.Inputs)
+			}
+			if c.NumFFs() != e.Params.FFs {
+				t.Errorf("%s: FFs = %d, want %d", e.Name, c.NumFFs(), e.Params.FFs)
+			}
+		}
+	}
+}
+
+func TestLoadUnknown(t *testing.T) {
+	if _, err := Load("s9999"); err == nil {
+		t.Error("unknown circuit accepted")
+	}
+}
+
+func TestSynthesizeDeterministic(t *testing.T) {
+	p := Params{Name: "x", Inputs: 4, FFs: 6, Gates: 50, Outputs: 3, Seed: 77}
+	a, err := Synthesize(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Synthesize(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bench.Format(a) != bench.Format(b) {
+		t.Error("same params produced different circuits")
+	}
+}
+
+func TestSynthesizeSeedsDiffer(t *testing.T) {
+	a, _ := Synthesize(Params{Name: "x", Inputs: 4, FFs: 6, Gates: 50, Outputs: 3, Seed: 1})
+	b, _ := Synthesize(Params{Name: "x", Inputs: 4, FFs: 6, Gates: 50, Outputs: 3, Seed: 2})
+	if bench.Format(a) == bench.Format(b) {
+		t.Error("different seeds produced identical circuits")
+	}
+}
+
+func TestSynthesizeNoDanglingLogic(t *testing.T) {
+	c, err := Synthesize(Params{Name: "x", Inputs: 5, FFs: 8, Gates: 120, Outputs: 4, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := range c.Signals {
+		id := netlist.SignalID(s)
+		if len(c.Fanout(id)) == 0 {
+			t.Errorf("signal %s has no readers (not even a primary output)", c.SignalName(id))
+		}
+	}
+}
+
+func TestSynthesizeInvalidParams(t *testing.T) {
+	if _, err := Synthesize(Params{Inputs: 0, FFs: 1, Gates: 10, Outputs: 1}); err == nil {
+		t.Error("zero inputs accepted")
+	}
+}
+
+func TestSynthesizeRoundTripsThroughBench(t *testing.T) {
+	c, err := Synthesize(Params{Name: "rt", Inputs: 5, FFs: 7, Gates: 80, Outputs: 3, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := bench.ParseString(bench.Format(c), "rt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.NumGates() != c.NumGates() || c2.NumFFs() != c.NumFFs() {
+		t.Error("bench round trip changed the synthetic circuit")
+	}
+}

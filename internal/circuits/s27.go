@@ -1,0 +1,30 @@
+package circuits
+
+// s27Bench is the real ISCAS-89 s27 benchmark netlist, the circuit the
+// paper uses for its worked examples (Tables 1-4). It is public domain
+// and reproduced in many testing textbooks: 4 primary inputs, 1 primary
+// output, 3 D flip-flops, 10 gates.
+const s27Bench = `
+# s27 (ISCAS-89)
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+
+OUTPUT(G17)
+
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NAND(G2, G12)
+`

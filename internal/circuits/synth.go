@@ -1,0 +1,230 @@
+package circuits
+
+import (
+	"fmt"
+
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+// Params describes a synthetic synchronous sequential circuit to
+// generate. Generation is deterministic in Params (including Seed).
+type Params struct {
+	Name    string
+	Inputs  int // primary inputs (before scan insertion)
+	FFs     int // flip-flops
+	Gates   int // approximate combinational gate budget
+	Outputs int // primary outputs
+	Seed    uint64
+}
+
+// Synthesize deterministically generates a connected synchronous
+// sequential circuit with the requested interface sizes.
+//
+// Construction is cone-based, chosen so the resulting logic has high
+// stuck-at testability (the real ISCAS-89/ITC-99 benchmarks have close
+// to 100% testable faults; naive random logic does not). Every
+// flip-flop data input and every primary output is the root of a logic
+// cone built as a fanout-free tree whose leaves are primary inputs,
+// flip-flop outputs, or subtree roots shared from earlier cones. Leaves
+// within one cone are chosen with pairwise-disjoint source support, so
+// no cone contains reconvergent fanout — which makes every fault in the
+// tree excitable and observable once the state is controllable (scan)
+// and the next state observable (scan again). Sharing across cones
+// creates realistic multi-fanout stems without introducing redundancy.
+func Synthesize(p Params) (*netlist.Circuit, error) {
+	if p.Inputs < 1 || p.FFs < 0 || p.Gates < 1 || p.Outputs < 1 {
+		return nil, fmt.Errorf("circuits: invalid params %+v", p)
+	}
+	rng := logic.NewRandFiller(p.Seed ^ 0xD1B54A32D192ED03)
+	b := netlist.NewBuilder(p.Name)
+
+	type nd struct {
+		name    string
+		support map[int]bool // set of source indices feeding it
+	}
+	var sources []nd
+	for i := 0; i < p.Inputs; i++ {
+		name := fmt.Sprintf("a%d", i)
+		b.AddInput(name)
+		sources = append(sources, nd{name: name, support: map[int]bool{i: true}})
+	}
+	for i := 0; i < p.FFs; i++ {
+		idx := p.Inputs + i
+		sources = append(sources, nd{name: fmt.Sprintf("q%d", i), support: map[int]bool{idx: true}})
+	}
+	usedSource := make([]bool, len(sources))
+
+	cones := p.FFs + p.Outputs
+	gateBudget := p.Gates
+	if gateBudget < cones {
+		gateBudget = cones
+	}
+	leavesPerCone := gateBudget/cones + 1
+	if leavesPerCone < 2 {
+		leavesPerCone = 2
+	}
+
+	twoIn := []netlist.GateType{
+		netlist.AND, netlist.NAND, netlist.OR, netlist.NOR,
+		netlist.XOR, netlist.XNOR, netlist.AND, netlist.OR,
+	}
+
+	var shared []nd // subtree roots available for reuse by later cones
+	gateN := 0
+	newName := func() string {
+		gateN++
+		return fmt.Sprintf("n%d", gateN)
+	}
+
+	disjoint := func(a, b map[int]bool) bool {
+		for k := range a {
+			if b[k] {
+				return false
+			}
+		}
+		return true
+	}
+	union := func(dst, src map[int]bool) {
+		for k := range src {
+			dst[k] = true
+		}
+	}
+	supportAvailable := func(sup map[int]bool, avail []int) bool {
+		have := 0
+		for _, i := range avail {
+			if sup[i] {
+				have++
+			}
+		}
+		return have == len(sup)
+	}
+	dropSupport := func(avail []int, sup map[int]bool) []int {
+		out := avail[:0]
+		for _, i := range avail {
+			if !sup[i] {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+
+	// buildCone returns the root node of a fresh cone.
+	buildCone := func() nd {
+		// Mean leaf count leavesPerCone makes total gates track the
+		// requested budget (a chain tree of L leaves has L-1 gates).
+		spread := 2*leavesPerCone - 3
+		if spread < 1 {
+			spread = 1
+		}
+		want := 2 + rng.Intn(spread)
+		coneSupport := make(map[int]bool)
+		var leaves []nd
+		// avail holds source indices not yet in the cone's support;
+		// swap-remove keeps picks O(1).
+		avail := make([]int, len(sources))
+		for i := range avail {
+			avail[i] = i
+		}
+		takeAvail := func(pos int) int {
+			i := avail[pos]
+			avail[pos] = avail[len(avail)-1]
+			avail = avail[:len(avail)-1]
+			return i
+		}
+		for len(leaves) < want && len(avail) > 0 {
+			var cand nd
+			picked := false
+			// Occasionally reuse a shared subtree from another cone
+			// when its whole support is still available.
+			if len(shared) > 0 && rng.Intn(100) < 20 {
+				s := shared[rng.Intn(len(shared))]
+				if disjoint(s.support, coneSupport) && supportAvailable(s.support, avail) {
+					cand, picked = s, true
+					avail = dropSupport(avail, s.support)
+				}
+			}
+			if !picked {
+				// Prefer a never-used source so every input and
+				// flip-flop output drives logic.
+				pos := -1
+				if rng.Intn(100) < 40 {
+					for try := 0; try < 4; try++ {
+						p := rng.Intn(len(avail))
+						if !usedSource[avail[p]] {
+							pos = p
+							break
+						}
+					}
+				}
+				if pos < 0 {
+					pos = rng.Intn(len(avail))
+				}
+				i := takeAvail(pos)
+				usedSource[i] = true
+				cand = sources[i]
+			}
+			union(coneSupport, cand.support)
+			leaves = append(leaves, cand)
+		}
+		for len(leaves) < 2 {
+			// Degenerate fallback for one-source circuits: reuse a
+			// source; the overlap is confined to one gate.
+			i := rng.Intn(len(sources))
+			usedSource[i] = true
+			leaves = append(leaves, sources[i])
+		}
+		// Combine leaves into a chain tree, occasionally inverting an
+		// operand, registering intermediates as shareable subtrees.
+		acc := leaves[0]
+		for _, leaf := range leaves[1:] {
+			operand := leaf
+			if rng.Intn(100) < 12 {
+				inv := newName()
+				b.AddGate(netlist.NOT, inv, operand.name)
+				operand = nd{name: inv, support: operand.support}
+			}
+			out := newName()
+			t := twoIn[rng.Intn(len(twoIn))]
+			b.AddGate(t, out, acc.name, operand.name)
+			sup := make(map[int]bool, len(acc.support)+len(operand.support))
+			union(sup, acc.support)
+			union(sup, operand.support)
+			acc = nd{name: out, support: sup}
+			shared = append(shared, acc)
+		}
+		return acc
+	}
+
+	for i := 0; i < p.FFs; i++ {
+		root := buildCone()
+		b.AddFF(fmt.Sprintf("q%d", i), root.name)
+	}
+	outs := make([]string, 0, p.Outputs)
+	for i := 0; i < p.Outputs; i++ {
+		outs = append(outs, buildCone().name)
+	}
+
+	// Sweep up never-used sources into one extra parity cone on the
+	// last output, so nothing is structurally disconnected. XOR trees
+	// over distinct fresh sources stay fully testable.
+	var leftovers []string
+	for i, u := range usedSource {
+		if !u {
+			leftovers = append(leftovers, sources[i].name)
+		}
+	}
+	if len(leftovers) > 0 {
+		acc := outs[len(outs)-1]
+		for _, s := range leftovers {
+			out := newName()
+			b.AddGate(netlist.XOR, out, acc, s)
+			acc = out
+		}
+		outs[len(outs)-1] = acc
+	}
+	for _, o := range outs {
+		b.MarkOutput(o)
+	}
+	return b.Build()
+}

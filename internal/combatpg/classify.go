@@ -1,0 +1,56 @@
+package combatpg
+
+import (
+	"repro/internal/fault"
+	"repro/internal/netlist"
+)
+
+// Classification summarizes a fault-universe analysis under full state
+// controllability and next-state observability (the full-scan
+// combinational view).
+type Classification struct {
+	// Status[i] is the PODEM outcome for fault i.
+	Status []Status
+	// Testable, Untestable and Aborted count the outcomes.
+	Testable, Untestable, Aborted int
+}
+
+// Efficiency returns the fault efficiency: testable faults divided by
+// classified (non-aborted) faults, as a percentage. With no aborts this
+// is the ceiling any test generator can reach on the circuit.
+func (c Classification) Efficiency() float64 {
+	classified := c.Testable + c.Untestable
+	if classified == 0 {
+		return 100
+	}
+	return 100 * float64(c.Testable) / float64(classified)
+}
+
+// ClassifyUniverse runs PODEM with full state controllability and
+// next-state observability over every fault, proving single-frame
+// testability or untestability. For a scan circuit this bounds what any
+// scan-based test can achieve: a fault untestable here is
+// combinationally redundant (caveat: a fault corrupting the scan load
+// itself may still evade detection in practice even when testable
+// here).
+func ClassifyUniverse(c *netlist.Circuit, faults []fault.Fault, maxBacktracks int) Classification {
+	gen := NewGenerator(c, Options{
+		AssignState:   true,
+		ObservePPO:    true,
+		MaxBacktracks: maxBacktracks,
+	})
+	cl := Classification{Status: make([]Status, len(faults))}
+	for i, f := range faults {
+		r := gen.Generate(f)
+		cl.Status[i] = r.Status
+		switch r.Status {
+		case Success:
+			cl.Testable++
+		case Untestable:
+			cl.Untestable++
+		default:
+			cl.Aborted++
+		}
+	}
+	return cl
+}

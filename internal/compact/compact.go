@@ -1,0 +1,219 @@
+// Package compact implements the two static test compaction procedures
+// for non-scan synchronous sequential circuits the paper applies to
+// C_scan sequences (Section 4):
+//
+//   - vector restoration (Pomeranz & Reddy, ICCD-97 [23]): starting
+//     from an empty selection, faults are processed in decreasing order
+//     of detection time and vectors are restored backward from each
+//     fault's detection time until the fault is detected again;
+//   - vector omission (Pomeranz & Reddy, DAC-96 [22]): vectors are
+//     tentatively removed one at a time; a removal is kept when every
+//     fault detected before compaction is still detected.
+//
+// Because scan operations are explicit vectors in this representation,
+// both procedures freely shorten complete scan operations into limited
+// ones — the flexibility the paper's approach is built on.
+package compact
+
+import (
+	"repro/internal/fault"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/sim"
+)
+
+// Stats reports what one compaction pass did.
+type Stats struct {
+	// BeforeLen and AfterLen are sequence lengths in vectors (equal to
+	// clock cycles for this representation).
+	BeforeLen, AfterLen int
+	// TargetFaults is how many faults the pass had to preserve.
+	TargetFaults int
+	// ExtraDetected counts faults not detected by the input sequence
+	// that the compacted sequence happens to detect (the paper's "ext
+	// det" column).
+	ExtraDetected int
+	// Simulations counts fault simulation passes performed.
+	Simulations int
+}
+
+// Restore runs vector-restoration compaction of seq for circuit c,
+// preserving detection of every fault in faults that seq detects.
+func Restore(c *netlist.Circuit, seq logic.Sequence, faults []fault.Fault) (logic.Sequence, Stats) {
+	st := Stats{BeforeLen: len(seq)}
+	base := sim.Run(c, seq, faults, sim.Options{})
+	st.Simulations++
+	// Order detected faults by decreasing detection time.
+	var order []int
+	for fi, t := range base.DetectedAt {
+		if t != sim.NotDetected {
+			order = append(order, fi)
+		}
+	}
+	st.TargetFaults = len(order)
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && base.DetectedAt[order[j]] > base.DetectedAt[order[j-1]]; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+
+	kept := make([]bool, len(seq))
+	build := func() logic.Sequence {
+		out := make(logic.Sequence, 0, len(seq))
+		for i, k := range kept {
+			if k {
+				out = append(out, seq[i])
+			}
+		}
+		return out
+	}
+	detects := func(fi int) bool {
+		st.Simulations++
+		r := sim.Run(c, build(), faults[fi:fi+1], sim.Options{})
+		return r.Detected(0)
+	}
+	// covered[fi] means the currently restored subsequence already
+	// detects fault fi; refreshed in batches of 64 so the common "this
+	// fault needs no work" case costs 1/64th of a simulation.
+	covered := make(map[int]bool, len(order))
+	for pos := 0; pos < len(order); pos++ {
+		fi := order[pos]
+		if !covered[fi] {
+			// Batch-check this fault together with the next ones.
+			end := pos + 64
+			if end > len(order) {
+				end = len(order)
+			}
+			group := order[pos:end]
+			sub := make([]fault.Fault, len(group))
+			for i, gi := range group {
+				sub[i] = faults[gi]
+			}
+			st.Simulations++
+			r := sim.Run(c, build(), sub, sim.Options{})
+			for i, gi := range group {
+				if r.Detected(i) {
+					covered[gi] = true
+				}
+			}
+		}
+		if covered[fi] {
+			continue
+		}
+		// For long sequences vectors are restored in small blocks
+		// before re-checking detection; omission cleans up any excess
+		// afterwards. Block size 1 reproduces plain [23].
+		block := 1 + len(seq)/1500
+		for t := base.DetectedAt[fi]; t >= 0; {
+			added := 0
+			for ; t >= 0 && added < block; t-- {
+				if !kept[t] {
+					kept[t] = true
+					added++
+				}
+			}
+			if added == 0 {
+				break
+			}
+			if detects(fi) {
+				break
+			}
+		}
+	}
+	out := build()
+	st.AfterLen = len(out)
+	st.ExtraDetected = countExtra(c, out, faults, base, &st)
+	return out, st
+}
+
+// omitBlock is the initial block size for omission trials. Whole blocks
+// of vectors are tried first and bisected on failure (segment pruning
+// in the spirit of the paper's reference [24]), which removes long
+// stretches of padding in O(log) trials instead of one per vector.
+const omitBlock = 16
+
+// Omit runs vector-omission compaction of seq for circuit c, preserving
+// detection of every fault in faults that seq detects. Blocks of
+// vectors are tried from the end of the sequence toward the front;
+// removing vectors at or after position t cannot disturb detections
+// strictly before t, so each trial only re-simulates the faults
+// detected at or after t.
+func Omit(c *netlist.Circuit, seq logic.Sequence, faults []fault.Fault) (logic.Sequence, Stats) {
+	st := Stats{BeforeLen: len(seq)}
+	o := newOmitter(c, seq, faults)
+	base := sim.Result{DetectedAt: append([]int(nil), o.detAt...)}
+	for _, t := range o.detAt {
+		if t != sim.NotDetected {
+			st.TargetFaults++
+		}
+	}
+
+	// slack bounds how far past its previous detection time a fault is
+	// allowed to drift during a trial. Trials are simulated only up to
+	// the latest affected detection time plus this slack, which keeps
+	// failing trials from re-simulating the whole tail; a removal whose
+	// detections would move beyond the bound is (conservatively)
+	// rejected.
+	slack := 2*c.NumFFs() + 50
+
+	// removeRange prunes within [lo, hi): try the whole range, bisect
+	// on failure. Higher positions are handled first so indices below
+	// stay valid.
+	var removeRange func(lo, hi int)
+	removeRange = func(lo, hi int) {
+		if hi <= lo || o.tryRemove(lo, hi, slack) {
+			return
+		}
+		if hi-lo == 1 {
+			return
+		}
+		mid := (lo + hi) / 2
+		removeRange(mid, hi)
+		removeRange(lo, mid)
+	}
+	for t := len(o.cur); t > 0; {
+		lo := t - omitBlock
+		if lo < 0 {
+			lo = 0
+		}
+		removeRange(lo, t)
+		t = lo
+	}
+	st.AfterLen = len(o.cur)
+	st.Simulations = o.sims
+	st.ExtraDetected = countExtra(c, o.cur, faults, base, &st)
+	return o.cur, st
+}
+
+// countExtra counts faults the compacted sequence detects that the
+// original did not. (base holds the original detections; note Omit
+// mutates base.DetectedAt's backing array only for already-detected
+// faults, so undetected entries are still authoritative.)
+func countExtra(c *netlist.Circuit, out logic.Sequence, faults []fault.Fault, base sim.Result, st *Stats) int {
+	var undetected []int
+	for fi, t := range base.DetectedAt {
+		if t == sim.NotDetected {
+			undetected = append(undetected, fi)
+		}
+	}
+	if len(undetected) == 0 {
+		return 0
+	}
+	sub := make([]fault.Fault, len(undetected))
+	for i, fi := range undetected {
+		sub[i] = faults[fi]
+	}
+	st.Simulations++
+	r := sim.Run(c, out, sub, sim.Options{})
+	return r.NumDetected()
+}
+
+// RestoreThenOmit applies the paper's Section 4 pipeline: restoration
+// followed by omission. The returned stats are the omission stats with
+// BeforeLen overridden to the original length and ExtraDetected summed
+// over both passes.
+func RestoreThenOmit(c *netlist.Circuit, seq logic.Sequence, faults []fault.Fault) (restored, omitted logic.Sequence, rst, ost Stats) {
+	restored, rst = Restore(c, seq, faults)
+	omitted, ost = Omit(c, restored, faults)
+	return restored, omitted, rst, ost
+}

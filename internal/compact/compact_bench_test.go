@@ -1,0 +1,53 @@
+package compact
+
+import (
+	"testing"
+
+	"repro/internal/circuits"
+	"repro/internal/fault"
+	"repro/internal/scan"
+	"repro/internal/seqatpg"
+)
+
+// BenchmarkCompaction measures the two static compaction procedures and
+// the combined pipeline on a generated sequence. The ablation between
+// Restore-only, Omit-only and the pipeline quantifies the paper's
+// Section 4 design choice (restoration first, then omission).
+func BenchmarkCompaction(b *testing.B) {
+	c, err := circuits.Load("s298")
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc, err := scan.Insert(c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	faults := fault.Universe(sc.Scan, true)
+	gen := seqatpg.Generate(sc, faults, seqatpg.Options{Seed: 1})
+
+	b.Run("restore-only", func(b *testing.B) {
+		var n int
+		for i := 0; i < b.N; i++ {
+			out, _ := Restore(sc.Scan, gen.Sequence, faults)
+			n = len(out)
+		}
+		b.ReportMetric(float64(len(gen.Sequence)), "raw_cycles")
+		b.ReportMetric(float64(n), "cycles")
+	})
+	b.Run("omit-only", func(b *testing.B) {
+		var n int
+		for i := 0; i < b.N; i++ {
+			out, _ := Omit(sc.Scan, gen.Sequence, faults)
+			n = len(out)
+		}
+		b.ReportMetric(float64(n), "cycles")
+	})
+	b.Run("restore-then-omit", func(b *testing.B) {
+		var n int
+		for i := 0; i < b.N; i++ {
+			_, out, _, _ := RestoreThenOmit(sc.Scan, gen.Sequence, faults)
+			n = len(out)
+		}
+		b.ReportMetric(float64(n), "cycles")
+	})
+}

@@ -1,0 +1,169 @@
+package compact
+
+import (
+	"testing"
+
+	"repro/internal/circuits"
+	"repro/internal/fault"
+	"repro/internal/logic"
+	"repro/internal/scan"
+	"repro/internal/seqatpg"
+	"repro/internal/sim"
+)
+
+// fixture builds an s27 scan circuit, its fault universe, and a
+// generated (deliberately uncompacted) test sequence.
+func fixture(t *testing.T) (*scan.Circuit, []fault.Fault, logic.Sequence) {
+	t.Helper()
+	c, err := circuits.Load("s27")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := scan.Insert(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := fault.Universe(sc.Scan, true)
+	res := seqatpg.Generate(sc, faults, seqatpg.Options{Seed: 11})
+	if len(res.Sequence) == 0 {
+		t.Fatal("empty generated sequence")
+	}
+	return sc, faults, res.Sequence
+}
+
+// padded appends useless all-zero vectors that compaction must remove.
+func padded(sc *scan.Circuit, seq logic.Sequence) logic.Sequence {
+	out := seq.Clone()
+	for i := 0; i < 10; i++ {
+		v := logic.NewVector(sc.Scan.NumInputs())
+		for j := range v {
+			v[j] = logic.Zero
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func detectedSet(sc *scan.Circuit, seq logic.Sequence, faults []fault.Fault) map[int]bool {
+	res := sim.Run(sc.Scan, seq, faults, sim.Options{})
+	out := make(map[int]bool)
+	for fi := range faults {
+		if res.Detected(fi) {
+			out[fi] = true
+		}
+	}
+	return out
+}
+
+func TestOmitNeverLosesDetections(t *testing.T) {
+	sc, faults, seq := fixture(t)
+	before := detectedSet(sc, seq, faults)
+	out, st := Omit(sc.Scan, seq, faults)
+	if st.AfterLen != len(out) || st.BeforeLen != len(seq) {
+		t.Errorf("stats lengths wrong: %+v", st)
+	}
+	if len(out) > len(seq) {
+		t.Fatal("omission grew the sequence")
+	}
+	after := detectedSet(sc, out, faults)
+	for fi := range before {
+		if !after[fi] {
+			t.Errorf("fault %s lost by omission", faults[fi].Name(sc.Scan))
+		}
+	}
+}
+
+func TestOmitRemovesPadding(t *testing.T) {
+	sc, faults, seq := fixture(t)
+	pad := padded(sc, seq)
+	out, _ := Omit(sc.Scan, pad, faults)
+	if len(out) > len(pad)-10 {
+		t.Errorf("padding survived: %d -> %d", len(pad), len(out))
+	}
+}
+
+func TestRestoreNeverLosesDetections(t *testing.T) {
+	sc, faults, seq := fixture(t)
+	before := detectedSet(sc, seq, faults)
+	out, st := Restore(sc.Scan, seq, faults)
+	if len(out) > len(seq) {
+		t.Fatal("restoration grew the sequence")
+	}
+	if st.TargetFaults != len(before) {
+		t.Errorf("target count %d != detected %d", st.TargetFaults, len(before))
+	}
+	after := detectedSet(sc, out, faults)
+	for fi := range before {
+		if !after[fi] {
+			t.Errorf("fault %s lost by restoration", faults[fi].Name(sc.Scan))
+		}
+	}
+}
+
+func TestRestoreDropsPadding(t *testing.T) {
+	sc, faults, seq := fixture(t)
+	pad := padded(sc, seq)
+	out, _ := Restore(sc.Scan, pad, faults)
+	if len(out) >= len(pad) {
+		t.Errorf("restoration removed nothing: %d -> %d", len(pad), len(out))
+	}
+}
+
+func TestRestoreThenOmitPipeline(t *testing.T) {
+	sc, faults, seq := fixture(t)
+	restored, omitted, rst, ost := RestoreThenOmit(sc.Scan, seq, faults)
+	if !(len(omitted) <= len(restored) && len(restored) <= len(seq)) {
+		t.Errorf("pipeline not monotone: %d -> %d -> %d", len(seq), len(restored), len(omitted))
+	}
+	if rst.BeforeLen != len(seq) || ost.BeforeLen != len(restored) {
+		t.Error("stats stages inconsistent")
+	}
+	before := detectedSet(sc, seq, faults)
+	after := detectedSet(sc, omitted, faults)
+	for fi := range before {
+		if !after[fi] {
+			t.Errorf("fault %s lost by pipeline", faults[fi].Name(sc.Scan))
+		}
+	}
+}
+
+// TestCompactionCanShortenScanOps checks the paper's central claim at
+// the mechanism level: compaction may reduce the number of scan_sel=1
+// vectors, i.e. turn complete scan operations into limited ones.
+func TestCompactionCanShortenScanOps(t *testing.T) {
+	sc, faults, seq := fixture(t)
+	_, omitted, _, _ := RestoreThenOmit(sc.Scan, seq, faults)
+	if sc.CountScanVectors(omitted) > sc.CountScanVectors(seq) {
+		t.Error("compaction increased scan vector count")
+	}
+}
+
+func TestOmitEmptyAndTrivialSequences(t *testing.T) {
+	sc, faults, _ := fixture(t)
+	out, st := Omit(sc.Scan, nil, faults)
+	if len(out) != 0 || st.TargetFaults != 0 {
+		t.Errorf("empty sequence mishandled: %d, %+v", len(out), st)
+	}
+	// A sequence detecting nothing should compact to nothing.
+	junk := logic.Sequence{logic.NewVector(sc.Scan.NumInputs())}
+	out, _ = Omit(sc.Scan, junk, faults)
+	if len(out) != 0 {
+		t.Errorf("undetecting sequence kept %d vectors", len(out))
+	}
+}
+
+func TestRestoreEmptySequence(t *testing.T) {
+	sc, faults, _ := fixture(t)
+	out, st := Restore(sc.Scan, nil, faults)
+	if len(out) != 0 || st.TargetFaults != 0 {
+		t.Errorf("empty sequence mishandled: %d, %+v", len(out), st)
+	}
+}
+
+func TestStatsSimulationCounts(t *testing.T) {
+	sc, faults, seq := fixture(t)
+	_, st := Omit(sc.Scan, seq, faults)
+	if st.Simulations <= 0 {
+		t.Error("no simulations counted")
+	}
+}

@@ -1,0 +1,293 @@
+package compact
+
+import (
+	"repro/internal/fault"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/sim"
+)
+
+// ckptStride is the spacing of prefix checkpoints in the omission
+// engine.
+const ckptStride = 32
+
+// omitter is the trial engine behind Omit. Vector omission processes
+// removal candidates from the end of the sequence toward the front, so
+// the prefix [0, lo) of the working sequence is always identical to the
+// same prefix of the input sequence. The engine exploits that: good
+// states for every position and per-batch faulty states every
+// ckptStride positions are computed once on the input sequence, and a
+// trial only simulates from the removal point forward, only for the
+// fault batches whose detections are at stake, each bounded just past
+// its latest previous detection.
+type omitter struct {
+	c      *netlist.Circuit
+	faults []fault.Fault
+	cur    logic.Sequence
+	detAt  []int
+
+	good       *sim.Machine
+	goodStates []sim.State     // state after vector t of the input prefix
+	goodPO     [][]logic.Value // PO values at vector t of the input prefix
+
+	batches []*omitBatch
+	scratch *sim.Machine // reused for batch replay
+	sims    int
+}
+
+type omitBatch struct {
+	start, n int
+	faults   []fault.Fault
+	ckpts    []sim.State // state after vector (j+1)*ckptStride - 1... see build
+}
+
+// newOmitter fault-simulates seq once, recording detection times,
+// per-position good data and per-batch checkpoints.
+func newOmitter(c *netlist.Circuit, seq logic.Sequence, faults []fault.Fault) *omitter {
+	o := &omitter{
+		c:      c,
+		faults: faults,
+		cur:    seq.Clone(),
+		detAt:  make([]int, len(faults)),
+		good:   sim.New(c),
+	}
+	for i := range o.detAt {
+		o.detAt[i] = sim.NotDetected
+	}
+	nPO := c.NumOutputs()
+	o.goodStates = make([]sim.State, len(seq))
+	o.goodPO = make([][]logic.Value, len(seq))
+	for t, v := range seq {
+		o.good.Step(v)
+		o.goodStates[t] = o.good.SaveState()
+		row := make([]logic.Value, nPO)
+		for po := range row {
+			row[po] = o.good.OutputSlot(po, 0)
+		}
+		o.goodPO[t] = row
+	}
+
+	m := sim.New(c)
+	o.scratch = sim.New(c)
+	for start := 0; start < len(faults); start += sim.Slots {
+		end := start + sim.Slots
+		if end > len(faults) {
+			end = len(faults)
+		}
+		b := &omitBatch{start: start, n: end - start, faults: faults[start:end]}
+		m.ClearFaults()
+		m.Reset()
+		for k, f := range b.faults {
+			if err := m.InjectFault(f, uint64(1)<<uint(k)); err != nil {
+				panic(err)
+			}
+		}
+		allMask := o.batchMask(b)
+		var detected uint64
+		for t, v := range seq {
+			if t%ckptStride == 0 {
+				b.ckpts = append(b.ckpts, m.SaveState())
+			}
+			m.Step(v)
+			detected |= o.detectStep(m, b, o.goodPO[t], detected, allMask, t)
+		}
+		o.batches = append(o.batches, b)
+		o.sims++
+	}
+	return o
+}
+
+func (o *omitter) batchMask(b *omitBatch) uint64 {
+	if b.n < sim.Slots {
+		return (uint64(1) << uint(b.n)) - 1
+	}
+	return sim.AllSlots
+}
+
+// detectStep compares the batch machine's outputs to the good values,
+// records first detections into detAt at time t, and returns the newly
+// detected mask.
+func (o *omitter) detectStep(m *sim.Machine, b *omitBatch, goodRow []logic.Value, detected, allMask uint64, t int) uint64 {
+	var newly uint64
+	for po := range goodRow {
+		if !goodRow[po].IsBinary() {
+			continue
+		}
+		gz, gd := valuePlanesOf(goodRow[po])
+		fz, fd := m.OutputPlanes(po)
+		newly |= sim.DetectMask(gz, gd, fz, fd)
+	}
+	newly &= allMask &^ detected
+	for k := 0; k < b.n; k++ {
+		if newly&(uint64(1)<<uint(k)) != 0 {
+			o.detAt[b.start+k] = t
+		}
+	}
+	return newly
+}
+
+func valuePlanesOf(v logic.Value) (z, d uint64) {
+	switch v {
+	case logic.Zero:
+		return ^uint64(0), 0
+	case logic.One:
+		return 0, ^uint64(0)
+	default:
+		return ^uint64(0), ^uint64(0)
+	}
+}
+
+// tryRemove attempts to delete cur[lo:hi]. slack bounds how far past
+// its previous detection time a fault may drift before the removal is
+// (conservatively) rejected. On success the working sequence and the
+// detection times are updated.
+func (o *omitter) tryRemove(lo, hi, slack int) bool {
+	removed := hi - lo
+	// Per batch: the affected mask and the latest affected detection
+	// expressed in post-removal indices.
+	type job struct {
+		b      *omitBatch
+		mask   uint64
+		maxDet int
+	}
+	var jobs []job
+	anyAffected := false
+	for _, b := range o.batches {
+		var mask uint64
+		maxDet := 0
+		for k := 0; k < b.n; k++ {
+			d := o.detAt[b.start+k]
+			if d == sim.NotDetected || d < lo {
+				continue
+			}
+			mask |= uint64(1) << uint(k)
+			if d >= hi {
+				d -= removed
+			}
+			if d > maxDet {
+				maxDet = d
+			}
+		}
+		if mask != 0 {
+			jobs = append(jobs, job{b: b, mask: mask, maxDet: maxDet})
+			anyAffected = true
+		}
+	}
+	if !anyAffected {
+		o.commit(lo, hi, nil)
+		return true
+	}
+	// Cheapest (earliest-deadline) batches first: failures surface at
+	// minimal cost.
+	for i := 1; i < len(jobs); i++ {
+		for j := i; j > 0 && jobs[j].maxDet < jobs[j-1].maxDet; j-- {
+			jobs[j], jobs[j-1] = jobs[j-1], jobs[j]
+		}
+	}
+
+	// Every batch may run up to the same global bound: the latest
+	// previous detection plus slack. The good-value suffix for the
+	// trial is extended lazily only as far as some batch actually
+	// needs (successful batches stop at their last detection).
+	maxBound := jobs[len(jobs)-1].maxDet + slack
+	suffixLimit := len(o.cur) - removed
+	if maxBound > suffixLimit {
+		maxBound = suffixLimit
+	}
+	if lo > 0 {
+		o.good.RestoreState(o.goodStates[lo-1])
+	} else {
+		o.good.Reset()
+	}
+	var trialPO [][]logic.Value
+	nPO := o.c.NumOutputs()
+	goodNext := lo // next trial position the good machine will produce
+	getPO := func(t int) []logic.Value {
+		for goodNext <= t {
+			o.good.Step(o.cur[goodNext+removed])
+			row := make([]logic.Value, nPO)
+			for po := range row {
+				row[po] = o.good.OutputSlot(po, 0)
+			}
+			trialPO = append(trialPO, row)
+			goodNext++
+		}
+		return trialPO[t-lo]
+	}
+
+	type hit struct{ fi, t int }
+	var hits []hit
+	for _, jb := range jobs {
+		b := jb.b
+		// A batch gets four slacks past its own latest detection
+		// before the removal is (conservatively) rejected; the global
+		// bound still caps everything.
+		bound := jb.maxDet + 4*slack
+		if bound > maxBound {
+			bound = maxBound
+		}
+		// Restore the batch from its checkpoint and replay the
+		// unchanged prefix tail [ckpt, lo).
+		j := lo / ckptStride
+		if j >= len(b.ckpts) {
+			j = len(b.ckpts) - 1
+		}
+		m := o.scratch
+		m.ClearFaults()
+		for k, f := range b.faults {
+			if err := m.InjectFault(f, uint64(1)<<uint(k)); err != nil {
+				panic(err)
+			}
+		}
+		m.RestoreState(b.ckpts[j])
+		for t := j * ckptStride; t < lo; t++ {
+			m.Step(o.cur[t])
+		}
+		// Suffix with detection monitoring on the affected bits.
+		var detected uint64
+		for t := lo; t < bound; t++ {
+			m.Step(o.cur[t+removed])
+			row := getPO(t)
+			var newly uint64
+			for po := range row {
+				gv := row[po]
+				if !gv.IsBinary() {
+					continue
+				}
+				gz, gd := valuePlanesOf(gv)
+				fz, fd := m.OutputPlanes(po)
+				newly |= sim.DetectMask(gz, gd, fz, fd)
+			}
+			newly &= jb.mask &^ detected
+			if newly != 0 {
+				detected |= newly
+				for k := 0; k < b.n; k++ {
+					if newly&(uint64(1)<<uint(k)) != 0 {
+						hits = append(hits, hit{fi: b.start + k, t: t})
+					}
+				}
+				if detected == jb.mask {
+					break
+				}
+			}
+		}
+		o.sims++
+		if detected != jb.mask {
+			return false
+		}
+	}
+	newTimes := make(map[int]int, len(hits))
+	for _, h := range hits {
+		newTimes[h.fi] = h.t
+	}
+	o.commit(lo, hi, newTimes)
+	return true
+}
+
+// commit applies the removal and the re-recorded detection times.
+func (o *omitter) commit(lo, hi int, newTimes map[int]int) {
+	o.cur = append(o.cur[:lo], o.cur[hi:]...)
+	for fi, t := range newTimes {
+		o.detAt[fi] = t
+	}
+}

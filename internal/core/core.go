@@ -1,0 +1,309 @@
+// Package core orchestrates the paper's end-to-end flows over the
+// benchmark suite:
+//
+//   - the generation flow (Tables 5 and 6): scan insertion → Section 2
+//     sequential test generation on C_scan → vector restoration →
+//     vector omission, with the conventional-scan baseline providing
+//     the comparison cycle count;
+//   - the translation flow (Table 7): conventional second-approach test
+//     set → Section 3 translation into a flat C_scan sequence → the
+//     same two compaction passes.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/baseline"
+	"repro/internal/circuits"
+	"repro/internal/compact"
+	"repro/internal/fault"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/scan"
+	"repro/internal/seqatpg"
+	"repro/internal/sim"
+	"repro/internal/translate"
+)
+
+// Config parameterizes a flow run.
+type Config struct {
+	// Seed drives every random choice; identical configs reproduce
+	// identical results.
+	Seed uint64
+	// Collapse enables structural equivalence fault collapsing
+	// (recommended; the paper's absolute fault counts differ anyway
+	// because the non-s27 circuits are synthetic).
+	Collapse bool
+	// Seq tunes the Section 2 generator.
+	Seq seqatpg.Options
+	// Baseline tunes the conventional comparator.
+	Baseline baseline.Options
+	// SkipBaseline omits the baseline run (Table 5 only needs the
+	// generator).
+	SkipBaseline bool
+	// SkipCompaction stops after raw generation.
+	SkipCompaction bool
+	// OmitLenCap skips the omission pass when the restored sequence
+	// is longer than this many vectors (0 = never skip). Omission is
+	// quadratic in sequence length on a single core; the paper's own
+	// largest circuit saw no compaction gain at all (Table 6, s35932),
+	// and restoration delivers most of the reduction on big circuits.
+	OmitLenCap int
+	// Chains selects the number of scan chains for the generation
+	// flow (0 or 1 = the paper's single chain).
+	Chains int
+}
+
+// DefaultConfig returns the configuration the experiments use.
+func DefaultConfig() Config {
+	return Config{Seed: 1, Collapse: true}
+}
+
+// GenerateRow is one row of the paper's Tables 5 and 6.
+type GenerateRow struct {
+	Circ   string
+	Inp    int // primary inputs of C_scan (includes scan_sel, scan_inp)
+	Stvr   int // state variables
+	Faults int
+
+	Detected int
+	FCov     float64
+	Funct    int // faults detected via functional-level scan knowledge
+
+	TestLen, TestScan     int // |T| and its scan_sel=1 count
+	RestorLen, RestorScan int
+	OmitLen, OmitScan     int
+	ExtDet                int // extra faults detected during compaction
+
+	BaselineCycles int // conventional-scan comparator ("[26] cyc")
+}
+
+// GenerateArtifacts carries the heavyweight objects produced by the
+// generation flow, for callers that want more than the table row.
+type GenerateArtifacts struct {
+	Scan                    scan.Design
+	Faults                  []fault.Fault
+	Gen                     seqatpg.Result
+	Raw                     logic.Sequence
+	Restored                logic.Sequence
+	Omitted                 logic.Sequence
+	RestoreStats, OmitStats compact.Stats
+	Baseline                baseline.Result
+}
+
+// RunGenerate executes the generation flow on the named catalog
+// circuit.
+func RunGenerate(name string, cfg Config) (GenerateRow, *GenerateArtifacts, error) {
+	c, err := circuits.Load(name)
+	if err != nil {
+		return GenerateRow{}, nil, err
+	}
+	var sc scan.Design
+	if cfg.Chains > 1 {
+		ch, err := scan.InsertChains(c, cfg.Chains)
+		if err != nil {
+			return GenerateRow{}, nil, err
+		}
+		sc = ch
+	} else {
+		single, err := scan.Insert(c)
+		if err != nil {
+			return GenerateRow{}, nil, err
+		}
+		sc = single
+	}
+	cs := sc.ScanCircuit()
+	faults := fault.Universe(cs, cfg.Collapse)
+	seqOpts := cfg.Seq
+	if seqOpts.Seed == 0 {
+		seqOpts.Seed = cfg.Seed
+	}
+	gen := seqatpg.Generate(sc, faults, seqOpts)
+
+	art := &GenerateArtifacts{Scan: sc, Faults: faults, Gen: gen, Raw: gen.Sequence}
+	row := GenerateRow{
+		Circ:     name,
+		Inp:      cs.NumInputs(),
+		Stvr:     sc.NumStateVars(),
+		Faults:   len(faults),
+		Detected: gen.NumDetected(),
+		FCov:     fault.Coverage(gen.NumDetected(), len(faults)),
+		Funct:    gen.NumFunct(),
+		TestLen:  len(gen.Sequence),
+		TestScan: countScan(sc, gen.Sequence),
+	}
+
+	if !cfg.SkipCompaction {
+		restored, rst := compact.Restore(cs, gen.Sequence, faults)
+		omitted, ost := restored, compact.Stats{BeforeLen: len(restored), AfterLen: len(restored)}
+		if cfg.OmitLenCap == 0 || len(restored) <= cfg.OmitLenCap {
+			omitted, ost = compact.Omit(cs, restored, faults)
+		}
+		art.Restored, art.Omitted = restored, omitted
+		art.RestoreStats, art.OmitStats = rst, ost
+		row.RestorLen = len(restored)
+		row.RestorScan = countScan(sc, restored)
+		row.OmitLen = len(omitted)
+		row.OmitScan = countScan(sc, omitted)
+		row.ExtDet = extraDetections(sc, gen, omitted, faults)
+	}
+
+	if !cfg.SkipBaseline {
+		baseOpts := cfg.Baseline
+		if baseOpts.Seed == 0 {
+			baseOpts.Seed = cfg.Seed
+		}
+		base := baseline.Generate(c, fault.Universe(c, cfg.Collapse), baseOpts)
+		art.Baseline = base
+		row.BaselineCycles = base.Cycles
+	}
+	return row, art, nil
+}
+
+// countScan counts the vectors of seq performing a scan shift.
+func countScan(sc scan.Design, seq logic.Sequence) int {
+	n := 0
+	for _, v := range seq {
+		if sc.IsScanSel(v) {
+			n++
+		}
+	}
+	return n
+}
+
+// extraDetections counts faults the generator left undetected that the
+// final compacted sequence detects anyway (the paper's "ext det").
+func extraDetections(sc scan.Design, gen seqatpg.Result, final logic.Sequence, faults []fault.Fault) int {
+	var sub []fault.Fault
+	for fi := range faults {
+		if gen.DetectedAt[fi] == sim.NotDetected {
+			sub = append(sub, faults[fi])
+		}
+	}
+	if len(sub) == 0 {
+		return 0
+	}
+	return sim.Run(sc.ScanCircuit(), final, sub, sim.Options{}).NumDetected()
+}
+
+// TranslateRow is one row of the paper's Table 7.
+type TranslateRow struct {
+	Circ                  string
+	TestLen, TestScan     int
+	RestorLen, RestorScan int
+	OmitLen, OmitScan     int
+	Cycles                int // conventional application of the source test set
+}
+
+// TranslateArtifacts carries the heavyweight objects of the translation
+// flow.
+type TranslateArtifacts struct {
+	Scan       *scan.Circuit
+	Base       baseline.Result
+	Translated logic.Sequence
+	Restored   logic.Sequence
+	Omitted    logic.Sequence
+	ScanFaults []fault.Fault
+}
+
+// RunTranslate executes the translation flow on the named catalog
+// circuit: generate a conventional test set, translate it, compact it.
+func RunTranslate(name string, cfg Config) (TranslateRow, *TranslateArtifacts, error) {
+	c, err := circuits.Load(name)
+	if err != nil {
+		return TranslateRow{}, nil, err
+	}
+	sc, err := scan.Insert(c)
+	if err != nil {
+		return TranslateRow{}, nil, err
+	}
+	baseOpts := cfg.Baseline
+	if baseOpts.Seed == 0 {
+		baseOpts.Seed = cfg.Seed
+	}
+	base := baseline.Generate(c, fault.Universe(c, cfg.Collapse), baseOpts)
+
+	seq, err := translate.Translate(sc, base.Tests, cfg.Seed^0x7A75)
+	if err != nil {
+		return TranslateRow{}, nil, err
+	}
+	scanFaults := fault.Universe(sc.Scan, cfg.Collapse)
+	row := TranslateRow{
+		Circ:     name,
+		TestLen:  len(seq),
+		TestScan: sc.CountScanVectors(seq),
+		Cycles:   base.Cycles,
+	}
+	art := &TranslateArtifacts{Scan: sc, Base: base, Translated: seq, ScanFaults: scanFaults}
+	if !cfg.SkipCompaction {
+		restored, _ := compact.Restore(sc.Scan, seq, scanFaults)
+		omitted := restored
+		if cfg.OmitLenCap == 0 || len(restored) <= cfg.OmitLenCap {
+			omitted, _ = compact.Omit(sc.Scan, restored, scanFaults)
+		}
+		art.Restored, art.Omitted = restored, omitted
+		row.RestorLen = len(restored)
+		row.RestorScan = sc.CountScanVectors(restored)
+		row.OmitLen = len(omitted)
+		row.OmitScan = sc.CountScanVectors(omitted)
+	}
+	return row, art, nil
+}
+
+// VerifyTranslation checks the paper's Section 3 guarantee on a
+// translated sequence: every fault of the scan circuit detected by the
+// conventional test set (modelled on C) must be detected by the flat
+// sequence on C_scan. It returns an error naming the first violation.
+func VerifyTranslation(sc *scan.Circuit, base baseline.Result, origFaults []fault.Fault, seq logic.Sequence) error {
+	// Map original-circuit faults onto C_scan sites by signal name.
+	var check []fault.Fault
+	var checkIdx []int
+	for fi, f := range origFaults {
+		if base.DetectedBy[fi] < 0 {
+			continue
+		}
+		if g, ok := liftFault(sc, f); ok {
+			check = append(check, g)
+			checkIdx = append(checkIdx, fi)
+		}
+	}
+	res := sim.Run(sc.Scan, seq, check, sim.Options{})
+	for i := range check {
+		if !res.Detected(i) {
+			return fmt.Errorf("core: fault %s (original index %d) detected conventionally but lost in translation",
+				check[i].Name(sc.Scan), checkIdx[i])
+		}
+	}
+	return nil
+}
+
+// liftFault maps a fault on the original circuit onto the equivalent
+// site of C_scan (signals keep their names; gate and pin indices shift).
+func liftFault(sc *scan.Circuit, f fault.Fault) (fault.Fault, bool) {
+	name := sc.Orig.SignalName(f.Site.Signal)
+	s, ok := sc.Scan.SignalByName(name)
+	if !ok {
+		return fault.Fault{}, false
+	}
+	out := fault.Fault{SA: f.SA, Site: fault.Site{Signal: s, Gate: -1, Pin: -1, FF: -1}}
+	switch {
+	case f.Site.IsStem():
+		return out, true
+	case f.Site.FF >= 0:
+		// The D pin of the original flip-flop is now an input of the
+		// scan mux; map to the corresponding mux AND gate pin.
+		return fault.Fault{}, false
+	default:
+		// Branch on a gate pin: find the same-named gate in C_scan.
+		g := sc.Orig.Gates[f.Site.Gate]
+		outName := sc.Orig.SignalName(g.Out)
+		so, ok := sc.Scan.SignalByName(outName)
+		if !ok || sc.Scan.Signals[so].Kind != netlist.KindGate {
+			return fault.Fault{}, false
+		}
+		gi := sc.Scan.Signals[so].Driver
+		out.Site.Gate = gi
+		out.Site.Pin = f.Site.Pin
+		return out, true
+	}
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"fmt"
+	"io"
+)
+
+// SmallSuite lists the catalog circuits that run in seconds; it is the
+// default for tests and examples.
+var SmallSuite = []string{
+	"s27", "s208", "s298", "s344", "s382", "s386", "s400", "s420",
+	"s444", "s510", "s526", "b01", "b02", "b06",
+}
+
+// MediumSuite extends SmallSuite with the mid-sized circuits.
+var MediumSuite = append(append([]string{}, SmallSuite...),
+	"s641", "s820", "s953", "s1196", "s1488", "b03", "b09", "b10", "b11")
+
+// FullSuite lists the circuits of the paper's evaluation (Tables 5/6),
+// in table order. The catalog also carries the remaining small ITC-99
+// designs (b05, b07, b08, b12, b13), runnable by name but excluded here
+// so recorded full-suite results stay comparable to the paper's rows.
+var FullSuite = []string{
+	"s27", "s208", "s298", "s344", "s382", "s386", "s400", "s420",
+	"s444", "s510", "s526", "s641", "s820", "s953", "s1196", "s1423",
+	"s1488", "s5378", "s35932",
+	"b01", "b02", "b03", "b04", "b06", "b09", "b10", "b11",
+}
+
+// Table7Suite lists the circuits the paper's Table 7 reports on.
+var Table7Suite = []string{
+	"s298", "s344", "s382", "s400", "s526", "s641", "s820", "s1423",
+	"s1488", "s5378",
+	"b01", "b02", "b03", "b04", "b06", "b09", "b10", "b11",
+}
+
+// Progress receives per-circuit notifications during a suite run; any
+// field may be nil.
+type Progress struct {
+	// Log, when non-nil, receives human-readable progress lines.
+	Log io.Writer
+}
+
+func (p Progress) logf(format string, args ...any) {
+	if p.Log != nil {
+		fmt.Fprintf(p.Log, format, args...)
+	}
+}
+
+// RunGenerateSuite runs the generation flow over the named circuits and
+// returns one row per circuit (Tables 5 and 6).
+func RunGenerateSuite(names []string, cfg Config, prog Progress) ([]GenerateRow, error) {
+	rows := make([]GenerateRow, 0, len(names))
+	for _, name := range names {
+		prog.logf("generate %s...\n", name)
+		row, _, err := RunGenerate(name, cfg)
+		if err != nil {
+			return rows, fmt.Errorf("core: %s: %w", name, err)
+		}
+		prog.logf("  faults=%d fcov=%.2f%% len=%d->%d->%d baseline=%d\n",
+			row.Faults, row.FCov, row.TestLen, row.RestorLen, row.OmitLen, row.BaselineCycles)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RunTranslateSuite runs the translation flow over the named circuits
+// and returns one row per circuit (Table 7).
+func RunTranslateSuite(names []string, cfg Config, prog Progress) ([]TranslateRow, error) {
+	rows := make([]TranslateRow, 0, len(names))
+	for _, name := range names {
+		prog.logf("translate %s...\n", name)
+		row, _, err := RunTranslate(name, cfg)
+		if err != nil {
+			return rows, fmt.Errorf("core: %s: %w", name, err)
+		}
+		prog.logf("  len=%d->%d->%d cycles=%d\n",
+			row.TestLen, row.RestorLen, row.OmitLen, row.Cycles)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// GenerateTotals sums the omission lengths and baseline cycles over
+// rows where the baseline ran, mirroring the paper's "total" rows.
+func GenerateTotals(rows []GenerateRow) (omitTotal, baselineTotal int) {
+	for _, r := range rows {
+		if r.BaselineCycles > 0 {
+			omitTotal += r.OmitLen
+			baselineTotal += r.BaselineCycles
+		}
+	}
+	return omitTotal, baselineTotal
+}
+
+// TranslateTotals sums the omission lengths and source-set cycles.
+func TranslateTotals(rows []TranslateRow) (omitTotal, cycleTotal int) {
+	for _, r := range rows {
+		omitTotal += r.OmitLen
+		cycleTotal += r.Cycles
+	}
+	return omitTotal, cycleTotal
+}

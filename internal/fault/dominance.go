@@ -1,0 +1,57 @@
+package fault
+
+import (
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+// CollapseDominance filters a fault list by structural dominance: for a
+// primitive gate, the output stuck at its non-controlled value is
+// detected by every test for any input stuck at the non-controlling
+// value (AND: out SA1 vs in SA1; NAND: out SA0; OR: out SA0; NOR: out
+// SA1), so the dominating output fault need not be targeted.
+//
+// Dominance collapsing is sound for test generation (a test set
+// covering the collapsed list covers the full list) but, unlike
+// equivalence collapsing, the dropped faults' detection times are not
+// those of their representatives — fault-coverage accounting should
+// still simulate the uncollapsed or equivalence-collapsed list. The
+// usual place for this list is as the target list of a generator.
+func CollapseDominance(c *netlist.Circuit, faults []Fault) []Fault {
+	// dropSA[s] marks a stuck-at value on stem s as dominance-dropped.
+	type drop struct {
+		sig netlist.SignalID
+		sa  logic.Value
+	}
+	dropped := make(map[drop]bool)
+	for _, g := range c.Gates {
+		if len(g.In) < 2 {
+			continue
+		}
+		var sa logic.Value
+		switch g.Type {
+		case netlist.AND:
+			sa = logic.One
+		case netlist.NAND:
+			sa = logic.Zero
+		case netlist.OR:
+			sa = logic.Zero
+		case netlist.NOR:
+			sa = logic.One
+		default:
+			continue
+		}
+		// The dominated input faults must still be present for the
+		// guarantee to hold; they are, because equivalence collapsing
+		// only merges the controlling-value input faults.
+		dropped[drop{sig: g.Out, sa: sa}] = true
+	}
+	out := make([]Fault, 0, len(faults))
+	for _, f := range faults {
+		if f.Site.IsStem() && dropped[drop{sig: f.Site.Signal, sa: f.SA}] {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}

@@ -1,0 +1,119 @@
+package fault
+
+import (
+	"testing"
+
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+func TestCollapseDominanceDropsGateOutputs(t *testing.T) {
+	c := mustParse(t, `
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+OUTPUT(z)
+y = AND(a, b)
+z = NOR(a, b)
+`)
+	full := Universe(c, true)
+	dom := CollapseDominance(c, full)
+	if len(dom) >= len(full) {
+		t.Fatalf("dominance removed nothing: %d >= %d", len(dom), len(full))
+	}
+	y, _ := c.SignalByName("y")
+	z, _ := c.SignalByName("z")
+	for _, f := range dom {
+		if !f.Site.IsStem() {
+			continue
+		}
+		if f.Site.Signal == y && f.SA == logic.One {
+			t.Error("AND output SA1 survived dominance collapsing")
+		}
+		if f.Site.Signal == z && f.SA == logic.One {
+			t.Error("NOR output SA1 survived dominance collapsing")
+		}
+	}
+}
+
+func TestCollapseDominanceKeepsInverters(t *testing.T) {
+	c := mustParse(t, `
+INPUT(a)
+OUTPUT(y)
+y = NOT(a)
+`)
+	full := Universe(c, true)
+	dom := CollapseDominance(c, full)
+	if len(dom) != len(full) {
+		t.Error("dominance collapsed a NOT gate")
+	}
+}
+
+// TestDominanceCoverageProperty: any single-frame test detecting a
+// dominated input fault must also detect the dropped output fault. We
+// verify indirectly: a vector that detects in-SA1 on an AND detects
+// out-SA1.
+func TestDominanceCoverageProperty(t *testing.T) {
+	c := mustParse(t, `
+INPUT(a)
+INPUT(b)
+INPUT(cc)
+OUTPUT(y)
+y = AND(a, b, cc)
+`)
+	a, _ := c.SignalByName("a")
+	y, _ := c.SignalByName("y")
+	inSA1 := Fault{Site: Site{Signal: a, Gate: -1, Pin: -1, FF: -1}, SA: logic.One}
+	outSA1 := Fault{Site: Site{Signal: y, Gate: -1, Pin: -1, FF: -1}, SA: logic.One}
+	// The unique test for a-SA1 is a=0, b=c=1.
+	_ = inSA1
+	// Evaluate both faults under that vector using truth: good y = 0;
+	// under out SA1, y = 1 -> detected. The structural argument is the
+	// point; assert the collapse is consistent with it.
+	dom := CollapseDominance(c, Universe(c, true))
+	for _, f := range dom {
+		if f.Site.IsStem() && f.Site.Signal == y && f.SA == logic.One {
+			t.Error("out SA1 kept despite dominated inputs present")
+		}
+	}
+	keptInSA1 := false
+	for _, f := range dom {
+		if f.Site.Signal == a && f.SA == logic.One {
+			keptInSA1 = true
+		}
+	}
+	if !keptInSA1 {
+		t.Error("dominated input fault was dropped too")
+	}
+	_ = outSA1
+}
+
+func TestCollapseDominanceIdempotent(t *testing.T) {
+	c := mustParse(t, `
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+y = NAND(a, b)
+`)
+	once := CollapseDominance(c, Universe(c, true))
+	twice := CollapseDominance(c, once)
+	if len(once) != len(twice) {
+		t.Error("dominance collapsing not idempotent")
+	}
+}
+
+func TestCollapseDominanceXorUntouched(t *testing.T) {
+	b := netlist.NewBuilder("x")
+	b.AddInput("a")
+	b.AddInput("bb")
+	b.AddGate(netlist.XOR, "y", "a", "bb")
+	b.MarkOutput("y")
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := Universe(c, true)
+	if got := CollapseDominance(c, full); len(got) != len(full) {
+		t.Error("XOR gate collapsed by dominance")
+	}
+}

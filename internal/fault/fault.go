@@ -1,0 +1,170 @@
+// Package fault defines the single stuck-at fault model used by the
+// test generation and compaction procedures: fault sites on every signal
+// stem and on every fanout branch (gate input pins and flip-flop data
+// pins whose source signal has more than one reader), with optional
+// structural equivalence collapsing.
+package fault
+
+import (
+	"fmt"
+
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+// Site is a location a stuck-at fault can occupy.
+//
+// A stem site (Gate < 0 and FF < 0) sits on the output of the driver of
+// Signal and affects every reader. A branch site sits on one reading
+// pin: input pin Pin of gate Gate, or the D pin of flip-flop FF.
+type Site struct {
+	Signal netlist.SignalID
+	Gate   int32 // reading gate for a branch site, else -1
+	Pin    int32 // pin within the reading gate, else -1
+	FF     int32 // reading flip-flop for a branch site on a D pin, else -1
+}
+
+// IsStem reports whether the site is a stem site.
+func (s Site) IsStem() bool { return s.Gate < 0 && s.FF < 0 }
+
+// Fault is a single stuck-at fault.
+type Fault struct {
+	Site Site
+	SA   logic.Value // logic.Zero or logic.One
+}
+
+// Name renders the fault in a human-readable form, e.g. "G10 SA0" for a
+// stem fault or "G8.in1<-G14 SA1" for a branch fault.
+func (f Fault) Name(c *netlist.Circuit) string {
+	src := c.SignalName(f.Site.Signal)
+	switch {
+	case f.Site.IsStem():
+		return fmt.Sprintf("%s SA%d", src, int(f.SA))
+	case f.Site.FF >= 0:
+		return fmt.Sprintf("%s.D<-%s SA%d", c.SignalName(c.FFs[f.Site.FF].Q), src, int(f.SA))
+	default:
+		g := c.Gates[f.Site.Gate]
+		return fmt.Sprintf("%s.in%d<-%s SA%d", c.SignalName(g.Out), f.Site.Pin, src, int(f.SA))
+	}
+}
+
+// Universe returns the stuck-at fault list of the circuit: two faults
+// per stem and two per fanout branch. If collapse is true, structurally
+// equivalent faults are merged (the representative kept is the one
+// closer to the primary outputs):
+//
+//   - for BUF/NOT, input faults are equivalent to output faults;
+//   - for AND/NAND, an input stuck at the controlling value 0 is
+//     equivalent to the output stuck at 0 (AND) or 1 (NAND);
+//   - for OR/NOR, symmetrically with controlling value 1.
+//
+// Branch sites are only created where the source signal has fanout
+// greater than one; a fanout-free pin is identical to its stem.
+func Universe(c *netlist.Circuit, collapse bool) []Fault {
+	var faults []Fault
+	add := func(site Site, sa logic.Value) {
+		faults = append(faults, Fault{Site: site, SA: sa})
+	}
+	// Stem sites on every signal.
+	for s := range c.Signals {
+		sig := netlist.SignalID(s)
+		stem := Site{Signal: sig, Gate: -1, Pin: -1, FF: -1}
+		sa0, sa1 := true, true
+		if collapse {
+			sa0, sa1 = stemKept(c, sig)
+		}
+		if sa0 {
+			add(stem, logic.Zero)
+		}
+		if sa1 {
+			add(stem, logic.One)
+		}
+	}
+	// Branch sites where fanout > 1.
+	for s := range c.Signals {
+		sig := netlist.SignalID(s)
+		readers := c.Fanout(sig)
+		if countReaders(readers) <= 1 {
+			continue
+		}
+		for _, r := range readers {
+			switch {
+			case r.Gate >= 0:
+				site := Site{Signal: sig, Gate: r.Gate, Pin: r.Pin, FF: -1}
+				sa0, sa1 := true, true
+				if collapse {
+					sa0, sa1 = pinKept(c.Gates[r.Gate].Type)
+				}
+				if sa0 {
+					add(site, logic.Zero)
+				}
+				if sa1 {
+					add(site, logic.One)
+				}
+			case r.FF >= 0:
+				site := Site{Signal: sig, Gate: -1, Pin: -1, FF: r.FF}
+				add(site, logic.Zero)
+				add(site, logic.One)
+			}
+			// Primary-output readers observe the stem directly;
+			// no extra site.
+		}
+	}
+	return faults
+}
+
+// countReaders counts gate-pin and flip-flop readers (primary outputs
+// excluded: observing a stem does not create a distinct fault site).
+func countReaders(readers []netlist.PinRef) int {
+	n := 0
+	for _, r := range readers {
+		if r.Gate >= 0 || r.FF >= 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// pinKept reports which stuck-at faults survive collapsing on an input
+// pin of a gate of type t. The dropped fault is equivalent to a fault on
+// the gate output.
+func pinKept(t netlist.GateType) (sa0, sa1 bool) {
+	switch t {
+	case netlist.BUF, netlist.NOT:
+		return false, false // both equivalent to output faults
+	case netlist.AND, netlist.NAND:
+		return false, true // input SA0 == output SA(0 or 1)
+	case netlist.OR, netlist.NOR:
+		return true, false // input SA1 == output SA(1 or 0)
+	default: // XOR/XNOR: no equivalences
+		return true, true
+	}
+}
+
+// stemKept reports which stuck-at faults survive collapsing on the stem
+// of signal s. A stem is dropped when the signal is the fanout-free sole
+// input of a gate that absorbs it (the equivalence partner closer to the
+// outputs is kept instead).
+func stemKept(c *netlist.Circuit, s netlist.SignalID) (sa0, sa1 bool) {
+	readers := c.Fanout(s)
+	if countReaders(readers) != 1 {
+		return true, true
+	}
+	for _, r := range readers {
+		if r.Gate < 0 {
+			continue
+		}
+		k0, k1 := pinKept(c.Gates[r.Gate].Type)
+		return k0, k1
+	}
+	return true, true
+}
+
+// Coverage computes the fault coverage: detected divided by total, as a
+// percentage. Total of zero yields 100.
+func Coverage(detected, total int) float64 {
+	if total == 0 {
+		return 100
+	}
+	return 100 * float64(detected) / float64(total)
+}

@@ -1,0 +1,141 @@
+package fault
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+func mustParse(t *testing.T, text string) *netlist.Circuit {
+	t.Helper()
+	c, err := bench.ParseString(text, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestUniverseUncollapsedCounts(t *testing.T) {
+	// a feeds two gates (fanout 2 -> branch sites); n1 fanout-free.
+	c := mustParse(t, `
+INPUT(a)
+INPUT(b)
+OUTPUT(n2)
+n1 = NOT(a)
+n2 = AND(a, n1, b)
+`)
+	faults := Universe(c, false)
+	// Stems: a, b, n1, n2 -> 4 signals * 2 = 8.
+	// Branches: only a has 2 readers -> 2 sites * 2 = 4.
+	if len(faults) != 12 {
+		for _, f := range faults {
+			t.Log(f.Name(c))
+		}
+		t.Fatalf("uncollapsed count = %d, want 12", len(faults))
+	}
+}
+
+func TestUniverseCollapsedDropsEquivalents(t *testing.T) {
+	c := mustParse(t, `
+INPUT(a)
+INPUT(b)
+OUTPUT(n2)
+n1 = NOT(a)
+n2 = AND(a, n1, b)
+`)
+	un := Universe(c, false)
+	col := Universe(c, true)
+	if len(col) >= len(un) {
+		t.Fatalf("collapsing did not reduce: %d >= %d", len(col), len(un))
+	}
+	// b is the fanout-free sole... b feeds only AND pin: its stem SA0 is
+	// equivalent to n2 SA0 and must be dropped; SA1 kept.
+	for _, f := range col {
+		if f.Site.IsStem() && c.SignalName(f.Site.Signal) == "b" && f.SA == logic.Zero {
+			t.Error("b SA0 should have been collapsed into n2 SA0")
+		}
+	}
+	// Branch sites on a feeding the NOT must be fully dropped.
+	for _, f := range col {
+		if !f.Site.IsStem() && f.Site.Gate >= 0 && c.Gates[f.Site.Gate].Type == netlist.NOT {
+			t.Error("branch fault on NOT input survived collapsing")
+		}
+	}
+}
+
+func TestUniverseFFBranchSites(t *testing.T) {
+	// Signal d feeds both a gate and a flip-flop: both pins get sites.
+	c := mustParse(t, `
+INPUT(a)
+OUTPUT(y)
+q = DFF(d)
+d = NOT(a)
+y = AND(d, q)
+`)
+	faults := Universe(c, false)
+	var ffBranch, gateBranch int
+	for _, f := range faults {
+		if f.Site.FF >= 0 {
+			ffBranch++
+		}
+		if f.Site.Gate >= 0 {
+			gateBranch++
+		}
+	}
+	if ffBranch != 2 {
+		t.Errorf("FF D-pin branch faults = %d, want 2", ffBranch)
+	}
+	if gateBranch != 2 {
+		t.Errorf("gate-pin branch faults = %d, want 2 (AND pin on d)", gateBranch)
+	}
+}
+
+func TestFaultNames(t *testing.T) {
+	c := mustParse(t, `
+INPUT(a)
+OUTPUT(y)
+q = DFF(d)
+d = NOT(a)
+y = AND(d, q)
+`)
+	for _, f := range Universe(c, false) {
+		if f.Name(c) == "" {
+			t.Error("empty fault name")
+		}
+	}
+	d, _ := c.SignalByName("d")
+	f := Fault{Site: Site{Signal: d, Gate: -1, Pin: -1, FF: -1}, SA: logic.One}
+	if got := f.Name(c); got != "d SA1" {
+		t.Errorf("stem name = %q", got)
+	}
+}
+
+func TestCoverage(t *testing.T) {
+	if Coverage(0, 0) != 100 {
+		t.Error("empty universe coverage should be 100")
+	}
+	if got := Coverage(50, 200); got != 25 {
+		t.Errorf("Coverage(50,200) = %v", got)
+	}
+}
+
+func TestUniverseDeterministic(t *testing.T) {
+	c := mustParse(t, `
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+y = NAND(a, b)
+`)
+	f1 := Universe(c, true)
+	f2 := Universe(c, true)
+	if len(f1) != len(f2) {
+		t.Fatal("nondeterministic universe size")
+	}
+	for i := range f1 {
+		if f1[i] != f2[i] {
+			t.Fatal("nondeterministic universe order")
+		}
+	}
+}

@@ -1,0 +1,237 @@
+package logic
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestValueString(t *testing.T) {
+	cases := map[Value]string{Zero: "0", One: "1", X: "x"}
+	for v, want := range cases {
+		if got := v.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestParseValue(t *testing.T) {
+	for _, c := range []struct {
+		ch   byte
+		want Value
+	}{{'0', Zero}, {'1', One}, {'x', X}, {'X', X}} {
+		got, err := ParseValue(c.ch)
+		if err != nil || got != c.want {
+			t.Errorf("ParseValue(%q) = %v, %v; want %v", c.ch, got, err, c.want)
+		}
+	}
+	if _, err := ParseValue('z'); err == nil {
+		t.Error("ParseValue('z') succeeded, want error")
+	}
+}
+
+func TestNotInvolution(t *testing.T) {
+	for _, v := range []Value{Zero, One, X} {
+		if v.Not().Not() != v {
+			t.Errorf("Not(Not(%v)) != %v", v, v)
+		}
+	}
+	if Zero.Not() != One || One.Not() != Zero || X.Not() != X {
+		t.Error("Not truth table wrong")
+	}
+}
+
+func TestAndOrTruthTables(t *testing.T) {
+	type row struct{ a, b, and, or Value }
+	rows := []row{
+		{Zero, Zero, Zero, Zero},
+		{Zero, One, Zero, One},
+		{One, One, One, One},
+		{Zero, X, Zero, X},
+		{One, X, X, One},
+		{X, X, X, X},
+	}
+	for _, r := range rows {
+		for _, sw := range []bool{false, true} {
+			a, b := r.a, r.b
+			if sw {
+				a, b = b, a
+			}
+			if got := And(a, b); got != r.and {
+				t.Errorf("And(%v,%v) = %v, want %v", a, b, got, r.and)
+			}
+			if got := Or(a, b); got != r.or {
+				t.Errorf("Or(%v,%v) = %v, want %v", a, b, got, r.or)
+			}
+		}
+	}
+}
+
+func TestXor(t *testing.T) {
+	if Xor(Zero, One) != One || Xor(One, One) != Zero || Xor(Zero, Zero) != Zero {
+		t.Error("binary Xor wrong")
+	}
+	for _, v := range []Value{Zero, One, X} {
+		if Xor(v, X) != X || Xor(X, v) != X {
+			t.Error("Xor with X must be X")
+		}
+	}
+}
+
+func TestDeMorganProperty(t *testing.T) {
+	// NOT(a AND b) == NOT(a) OR NOT(b) in three-valued logic.
+	vals := []Value{Zero, One, X}
+	for _, a := range vals {
+		for _, b := range vals {
+			if And(a, b).Not() != Or(a.Not(), b.Not()) {
+				t.Errorf("DeMorgan fails for %v,%v", a, b)
+			}
+		}
+	}
+}
+
+func TestVectorRoundTrip(t *testing.T) {
+	v, err := ParseVector("01x10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := v.String(); got != "01x10" {
+		t.Errorf("round trip = %q", got)
+	}
+	if v.Specified() {
+		t.Error("vector with x reported specified")
+	}
+	if !mustVector(t, "0110").Specified() {
+		t.Error("binary vector reported unspecified")
+	}
+}
+
+func mustVector(t *testing.T, s string) Vector {
+	t.Helper()
+	v, err := ParseVector(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestNewVectorAllX(t *testing.T) {
+	v := NewVector(5)
+	for i, x := range v {
+		if x != X {
+			t.Fatalf("position %d = %v, want X", i, x)
+		}
+	}
+}
+
+func TestVectorClone(t *testing.T) {
+	v := mustVector(t, "01x")
+	w := v.Clone()
+	w[0] = One
+	if v[0] != Zero {
+		t.Error("Clone aliases original")
+	}
+}
+
+func TestSequenceParseAndString(t *testing.T) {
+	seq, err := ParseSequence("# header\n010\n\n1x1\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != 2 || seq[0].String() != "010" || seq[1].String() != "1x1" {
+		t.Fatalf("parsed %v", seq)
+	}
+	back, err := ParseSequence(seq.String())
+	if err != nil || len(back) != 2 {
+		t.Fatalf("round trip failed: %v %v", back, err)
+	}
+}
+
+func TestSequenceParseWidthMismatch(t *testing.T) {
+	if _, err := ParseSequence("010\n01"); err == nil {
+		t.Error("width mismatch not rejected")
+	}
+}
+
+func TestSequenceClone(t *testing.T) {
+	seq, _ := ParseSequence("01\n10")
+	cp := seq.Clone()
+	cp[0][0] = One
+	if seq[0][0] != Zero {
+		t.Error("Clone aliases original")
+	}
+}
+
+func TestCountWhere(t *testing.T) {
+	seq, _ := ParseSequence("01\n11\n0x")
+	if got := seq.CountWhere(0, Zero); got != 2 {
+		t.Errorf("CountWhere(0, Zero) = %d, want 2", got)
+	}
+	if got := seq.CountWhere(1, One); got != 2 {
+		t.Errorf("CountWhere(1, One) = %d, want 2", got)
+	}
+	if got := seq.CountWhere(9, One); got != 0 {
+		t.Errorf("out of range CountWhere = %d, want 0", got)
+	}
+}
+
+func TestFillXRemovesAllX(t *testing.T) {
+	f := func(seed uint64) bool {
+		seq := Sequence{NewVector(17), NewVector(17)}
+		seq.FillX(NewRandFiller(seed))
+		for _, v := range seq {
+			if !v.Specified() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFillXPreservesBinary(t *testing.T) {
+	seq, _ := ParseSequence("0x1\nx1x")
+	seq.FillX(NewRandFiller(7))
+	if seq[0][0] != Zero || seq[0][2] != One || seq[1][1] != One {
+		t.Error("FillX changed specified values")
+	}
+}
+
+func TestRandFillerDeterminism(t *testing.T) {
+	a, b := NewRandFiller(42), NewRandFiller(42)
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestRandFillerZeroSeed(t *testing.T) {
+	r := NewRandFiller(0)
+	saw := map[Value]bool{}
+	for i := 0; i < 64; i++ {
+		saw[r.Next()] = true
+	}
+	if !saw[Zero] || !saw[One] {
+		t.Error("zero-seed filler not producing both values")
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := NewRandFiller(3)
+	for i := 0; i < 1000; i++ {
+		if n := r.Intn(7); n < 0 || n >= 7 {
+			t.Fatalf("Intn out of range: %d", n)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	NewRandFiller(1).Intn(0)
+}

@@ -1,0 +1,103 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/circuits"
+	"repro/internal/core"
+	"repro/internal/logic"
+	"repro/internal/scan"
+	"repro/internal/translate"
+)
+
+func s27Scan(t *testing.T) *scan.Circuit {
+	t.Helper()
+	c, err := circuits.Load("s27")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := scan.Insert(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+func TestSequenceTable(t *testing.T) {
+	sc := s27Scan(t)
+	seq := logic.Sequence{
+		sc.ShiftVector(logic.One),
+		sc.FunctionalVector(logic.NewVector(4)),
+	}
+	out := SequenceTable(sc, seq, "Table X")
+	if !strings.Contains(out, "Table X") || !strings.Contains(out, "scan_sel") {
+		t.Fatalf("missing headers:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2+len(seq) {
+		t.Errorf("line count = %d", len(lines))
+	}
+	// Row 0 must show scan_sel = 1.
+	if !strings.Contains(lines[2], "1") {
+		t.Error("first data row lost its scan_sel value")
+	}
+}
+
+func TestTestSetTable(t *testing.T) {
+	v, _ := logic.ParseVector("011")
+	w, _ := logic.ParseVector("0000")
+	out := TestSetTable([]translate.ScanTest{{SI: v, T: logic.Sequence{w}}}, "Table 2")
+	if !strings.Contains(out, "011") || !strings.Contains(out, "0000") {
+		t.Fatalf("contents missing:\n%s", out)
+	}
+}
+
+func TestTable5Table6Table7Render(t *testing.T) {
+	rows := []core.GenerateRow{{
+		Circ: "s27", Inp: 6, Stvr: 3, Faults: 58, Detected: 58,
+		FCov: 100, Funct: 2, TestLen: 30, TestScan: 12,
+		RestorLen: 20, RestorScan: 9, OmitLen: 17, OmitScan: 7,
+		ExtDet: 1, BaselineCycles: 33,
+	}, {
+		Circ: "b02", Inp: 4, Stvr: 4, Faults: 40, Detected: 39,
+		FCov: 97.5, TestLen: 50, BaselineCycles: 0,
+	}}
+	t5 := Table5(rows)
+	if !strings.Contains(t5, "s27") || !strings.Contains(t5, "100.00") {
+		t.Errorf("Table5:\n%s", t5)
+	}
+	t6 := Table6(rows)
+	if !strings.Contains(t6, "+1") || !strings.Contains(t6, "NA") {
+		t.Errorf("Table6 missing ext det or NA:\n%s", t6)
+	}
+	if !strings.Contains(t6, "total") {
+		t.Error("Table6 missing total row")
+	}
+	t7 := Table7([]core.TranslateRow{{Circ: "s27", TestLen: 20, OmitLen: 14, Cycles: 20}})
+	if !strings.Contains(t7, "total") || !strings.Contains(t7, "s27") {
+		t.Errorf("Table7:\n%s", t7)
+	}
+}
+
+func TestScanRuns(t *testing.T) {
+	sc := s27Scan(t)
+	mk := func(sel ...int) logic.Sequence {
+		var seq logic.Sequence
+		for _, s := range sel {
+			if s == 1 {
+				seq = append(seq, sc.ShiftVector(logic.Zero))
+			} else {
+				seq = append(seq, sc.FunctionalVector(logic.NewVector(4)))
+			}
+		}
+		return seq
+	}
+	runs := ScanRuns(sc, mk(1, 1, 0, 1, 0, 1, 1, 1))
+	if runs[2] != 1 || runs[1] != 1 || runs[3] != 1 {
+		t.Errorf("runs = %v", runs)
+	}
+	if len(ScanRuns(sc, mk(0, 0))) != 0 {
+		t.Error("no-scan sequence reported runs")
+	}
+}

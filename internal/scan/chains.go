@@ -1,0 +1,248 @@
+package scan
+
+import (
+	"fmt"
+
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+// Chains is a circuit with several scan chains sharing one scan_sel:
+// chain k has its own scan_inp_k input and scan_out_k output. Flip-flops
+// are assigned to chains in declaration order, split into near-equal
+// contiguous groups — shifting then takes only max(chain length) cycles
+// instead of the total number of state variables.
+type Chains struct {
+	// Scan is C_scan with all chains inserted.
+	Scan *netlist.Circuit
+	// Orig is the source circuit.
+	Orig *netlist.Circuit
+	// SelPI is the input position of the shared scan_sel.
+	SelPI int
+	// InpPIs[k] is the input position of chain k's scan_inp.
+	InpPIs []int
+	// OutPOs[k] is the output position of chain k's scan_out.
+	OutPOs []int
+	// ChainOf[f] and PosOf[f] give flip-flop f's chain and its
+	// position within it (position 0 is nearest scan_inp).
+	ChainOf, PosOf []int
+	// Lens[k] is the length of chain k.
+	Lens []int
+}
+
+// InsertChains builds C_scan with n scan chains. n is clamped to
+// [1, number of flip-flops].
+func InsertChains(c *netlist.Circuit, n int) (*Chains, error) {
+	if c.NumFFs() == 0 {
+		return nil, fmt.Errorf("scan: circuit %q has no flip-flops", c.Name)
+	}
+	if n < 1 {
+		n = 1
+	}
+	if n > c.NumFFs() {
+		n = c.NumFFs()
+	}
+	used := make(map[string]bool, len(c.Signals))
+	for _, s := range c.Signals {
+		used[s.Name] = true
+	}
+	unique := func(base string) string {
+		name := base
+		for i := 2; used[name]; i++ {
+			name = fmt.Sprintf("%s_%d", base, i)
+		}
+		used[name] = true
+		return name
+	}
+	selName := unique("scan_sel")
+	inpNames := make([]string, n)
+	for k := range inpNames {
+		inpNames[k] = unique(fmt.Sprintf("scan_inp%d", k))
+	}
+	nselName := unique("scan_nsel")
+
+	// Near-equal contiguous split.
+	nFF := c.NumFFs()
+	base, extra := nFF/n, nFF%n
+	lens := make([]int, n)
+	for k := range lens {
+		lens[k] = base
+		if k < extra {
+			lens[k]++
+		}
+	}
+
+	b := netlist.NewBuilder(fmt.Sprintf("%s_scan%d", c.Name, n))
+	for _, in := range c.Inputs {
+		b.AddInput(c.SignalName(in))
+	}
+	b.AddInput(selName)
+	for _, name := range inpNames {
+		b.AddInput(name)
+	}
+	b.AddGate(netlist.NOT, nselName, selName)
+	for _, gi := range c.Order {
+		g := c.Gates[gi]
+		in := make([]string, len(g.In))
+		for i, s := range g.In {
+			in[i] = c.SignalName(s)
+		}
+		b.AddGate(g.Type, c.SignalName(g.Out), in...)
+	}
+
+	chainOf := make([]int, nFF)
+	posOf := make([]int, nFF)
+	lastQ := make([]string, n)
+	fi := 0
+	for k := 0; k < n; k++ {
+		prev := inpNames[k]
+		for p := 0; p < lens[k]; p++ {
+			ff := c.FFs[fi]
+			q := c.SignalName(ff.Q)
+			d := c.SignalName(ff.D)
+			funcPath := unique(fmt.Sprintf("scan_mf_%d", fi))
+			shiftPath := unique(fmt.Sprintf("scan_ms_%d", fi))
+			muxOut := unique(fmt.Sprintf("scan_md_%d", fi))
+			b.AddGate(netlist.AND, funcPath, nselName, d)
+			b.AddGate(netlist.AND, shiftPath, selName, prev)
+			b.AddGate(netlist.OR, muxOut, funcPath, shiftPath)
+			b.AddFF(q, muxOut)
+			chainOf[fi] = k
+			posOf[fi] = p
+			prev = q
+			fi++
+		}
+		lastQ[k] = prev
+	}
+	for _, out := range c.Outputs {
+		b.MarkOutput(c.SignalName(out))
+	}
+	for _, q := range lastQ {
+		b.MarkOutput(q)
+	}
+	sc, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("scan: %w", err)
+	}
+	ch := &Chains{
+		Scan:    sc,
+		Orig:    c,
+		SelPI:   c.NumInputs(),
+		ChainOf: chainOf,
+		PosOf:   posOf,
+		Lens:    lens,
+	}
+	for k := 0; k < n; k++ {
+		ch.InpPIs = append(ch.InpPIs, c.NumInputs()+1+k)
+		ch.OutPOs = append(ch.OutPOs, c.NumOutputs()+k)
+	}
+	return ch, nil
+}
+
+// NumChains returns the number of scan chains.
+func (ch *Chains) NumChains() int { return len(ch.Lens) }
+
+// MaxLen returns the longest chain length — the cost of a complete
+// scan operation.
+func (ch *Chains) MaxLen() int {
+	m := 0
+	for _, l := range ch.Lens {
+		if l > m {
+			m = l
+		}
+	}
+	return m
+}
+
+// ScanCircuit returns C_scan.
+func (ch *Chains) ScanCircuit() *netlist.Circuit { return ch.Scan }
+
+// NumStateVars returns the total number of scan state variables.
+func (ch *Chains) NumStateVars() int { return ch.Orig.NumFFs() }
+
+// SelInput returns the input position of the shared scan_sel.
+func (ch *Chains) SelInput() int { return ch.SelPI }
+
+// ShiftVector returns one vector shifting every chain once: scan_sel =
+// 1, chain inputs from inps (missing entries are X), original inputs X.
+func (ch *Chains) ShiftVector(inps []logic.Value) logic.Vector {
+	v := logic.NewVector(ch.Scan.NumInputs())
+	v[ch.SelPI] = logic.One
+	for k, pi := range ch.InpPIs {
+		if k < len(inps) {
+			v[pi] = inps[k]
+		}
+	}
+	return v
+}
+
+// FlushLength returns the shifts needed to move an effect latched in
+// flip-flop ff to its chain's scan output.
+func (ch *Chains) FlushLength(ff int) int {
+	n := ch.Lens[ch.ChainOf[ff]] - 1 - ch.PosOf[ff]
+	if n < 0 {
+		n = 0
+	}
+	return n
+}
+
+// FlushVectors returns FlushLength(ff) shift vectors with all chain
+// inputs at X.
+func (ch *Chains) FlushVectors(ff int) logic.Sequence {
+	n := ch.FlushLength(ff)
+	seq := make(logic.Sequence, n)
+	for t := range seq {
+		seq[t] = ch.ShiftVector(nil)
+	}
+	return seq
+}
+
+// ScanInSequence returns max-chain-length shift vectors loading state
+// (one value per flip-flop, in flip-flop order) into every chain in
+// parallel. Shorter chains receive X padding before their values.
+func (ch *Chains) ScanInSequence(state []logic.Value) (logic.Sequence, error) {
+	if len(state) != ch.NumStateVars() {
+		return nil, fmt.Errorf("scan: state width %d, total chain length %d", len(state), ch.NumStateVars())
+	}
+	// ffAt[k][p] is the flip-flop index of chain k position p.
+	ffAt := make([][]int, len(ch.Lens))
+	for k, l := range ch.Lens {
+		ffAt[k] = make([]int, l)
+	}
+	for f := range state {
+		ffAt[ch.ChainOf[f]][ch.PosOf[f]] = f
+	}
+	m := ch.MaxLen()
+	seq := make(logic.Sequence, m)
+	for t := 0; t < m; t++ {
+		inps := make([]logic.Value, len(ch.Lens))
+		for k, l := range ch.Lens {
+			// The value fed at shift t lands at position m-1-t
+			// after the remaining shifts.
+			pos := m - 1 - t
+			if pos < l {
+				inps[k] = state[ffAt[k][pos]]
+			} else {
+				inps[k] = logic.X
+			}
+		}
+		seq[t] = ch.ShiftVector(inps)
+	}
+	return seq, nil
+}
+
+// IsScanSel reports whether vector v performs a scan shift.
+func (ch *Chains) IsScanSel(v logic.Vector) bool {
+	return ch.SelPI < len(v) && v[ch.SelPI] == logic.One
+}
+
+// CountScanVectors counts the vectors of seq with scan_sel = 1.
+func (ch *Chains) CountScanVectors(seq logic.Sequence) int {
+	n := 0
+	for _, v := range seq {
+		if ch.IsScanSel(v) {
+			n++
+		}
+	}
+	return n
+}

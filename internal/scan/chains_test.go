@@ -1,0 +1,177 @@
+package scan
+
+import (
+	"testing"
+
+	"repro/internal/circuits"
+	"repro/internal/logic"
+	"repro/internal/sim"
+)
+
+func insertChains(t *testing.T, name string, n int) *Chains {
+	t.Helper()
+	c, err := circuits.Load(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := InsertChains(c, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ch
+}
+
+func TestInsertChainsInterface(t *testing.T) {
+	ch := insertChains(t, "s298", 3)
+	if ch.NumChains() != 3 {
+		t.Fatalf("chains = %d", ch.NumChains())
+	}
+	// 14 flip-flops -> lengths 5, 5, 4.
+	if ch.Lens[0] != 5 || ch.Lens[1] != 5 || ch.Lens[2] != 4 {
+		t.Errorf("lens = %v", ch.Lens)
+	}
+	if ch.MaxLen() != 5 {
+		t.Errorf("MaxLen = %d", ch.MaxLen())
+	}
+	if ch.Scan.NumInputs() != ch.Orig.NumInputs()+1+3 {
+		t.Errorf("inputs = %d", ch.Scan.NumInputs())
+	}
+	if ch.Scan.NumOutputs() != ch.Orig.NumOutputs()+3 {
+		t.Errorf("outputs = %d", ch.Scan.NumOutputs())
+	}
+	if ch.NumStateVars() != 14 {
+		t.Errorf("state vars = %d", ch.NumStateVars())
+	}
+	// Chain/position maps are a partition.
+	seen := map[[2]int]bool{}
+	for f := 0; f < 14; f++ {
+		k := [2]int{ch.ChainOf[f], ch.PosOf[f]}
+		if seen[k] {
+			t.Fatalf("duplicate chain slot %v", k)
+		}
+		seen[k] = true
+		if ch.PosOf[f] >= ch.Lens[ch.ChainOf[f]] {
+			t.Fatalf("position %d beyond chain %d", ch.PosOf[f], ch.ChainOf[f])
+		}
+	}
+}
+
+func TestInsertChainsClamping(t *testing.T) {
+	ch := insertChains(t, "s27", 99)
+	if ch.NumChains() != 3 {
+		t.Errorf("clamped chains = %d, want 3 (one per flip-flop)", ch.NumChains())
+	}
+	ch = insertChains(t, "s27", 0)
+	if ch.NumChains() != 1 {
+		t.Errorf("clamped chains = %d, want 1", ch.NumChains())
+	}
+}
+
+// TestChainsScanInLoadsState: parallel scan-in must set every flip-flop
+// in MaxLen cycles.
+func TestChainsScanInLoadsState(t *testing.T) {
+	ch := insertChains(t, "s298", 3)
+	rng := logic.NewRandFiller(5)
+	state := make([]logic.Value, ch.NumStateVars())
+	for i := range state {
+		state[i] = rng.Next()
+	}
+	seq, err := ch.ScanInSequence(state)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != ch.MaxLen() {
+		t.Fatalf("scan-in length %d, want %d", len(seq), ch.MaxLen())
+	}
+	m := sim.New(ch.Scan)
+	for _, v := range seq {
+		m.Step(v)
+	}
+	got := m.StateSlot(0)
+	for f, want := range state {
+		if got[f] != want {
+			t.Errorf("FF %d = %v, want %v", f, got[f], want)
+		}
+	}
+}
+
+// TestChainsFlushObservable: a value planted in any flip-flop must
+// reach its chain's scan output after FlushLength shifts plus one
+// observation cycle.
+func TestChainsFlushObservable(t *testing.T) {
+	ch := insertChains(t, "s298", 3)
+	for f := 0; f < ch.NumStateVars(); f++ {
+		m := sim.New(ch.Scan)
+		st := make([]logic.Value, ch.NumStateVars())
+		for i := range st {
+			st[i] = logic.Zero
+		}
+		st[f] = logic.One
+		m.SetStateBroadcast(st)
+		for _, v := range ch.FlushVectors(f) {
+			m.Step(v)
+		}
+		m.Step(ch.ShiftVector(nil))
+		po := ch.OutPOs[ch.ChainOf[f]]
+		if got := m.OutputSlot(po, 0); got != logic.One {
+			t.Errorf("FF %d (chain %d pos %d): scan_out = %v", f, ch.ChainOf[f], ch.PosOf[f], got)
+		}
+	}
+}
+
+func TestChainsFunctionalModePreserved(t *testing.T) {
+	c, _ := circuits.Load("s27")
+	ch, err := InsertChains(c, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mo := sim.New(c)
+	ms := sim.New(ch.Scan)
+	start := []logic.Value{logic.One, logic.Zero, logic.One}
+	mo.SetStateBroadcast(start)
+	ms.SetStateBroadcast(start)
+	rng := logic.NewRandFiller(9)
+	for step := 0; step < 40; step++ {
+		ov := make(logic.Vector, c.NumInputs())
+		for i := range ov {
+			ov[i] = rng.Next()
+		}
+		sv := logic.NewVector(ch.Scan.NumInputs())
+		copy(sv, ov)
+		sv[ch.SelPI] = logic.Zero
+		mo.Step(ov)
+		ms.Step(sv)
+		for po := 0; po < c.NumOutputs(); po++ {
+			if mo.OutputSlot(po, 0) != ms.OutputSlot(po, 0) {
+				t.Fatalf("step %d output %d differs", step, po)
+			}
+		}
+	}
+}
+
+func TestChainsSingleEquivalentToInsert(t *testing.T) {
+	c, _ := circuits.Load("s27")
+	one, err := InsertChains(c, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := Insert(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.Scan.NumGates() != single.Scan.NumGates() {
+		t.Errorf("gate counts differ: %d vs %d", one.Scan.NumGates(), single.Scan.NumGates())
+	}
+	for f := 0; f < c.NumFFs(); f++ {
+		if one.FlushLength(f) != single.FlushLength(f) {
+			t.Errorf("FlushLength(%d) differs: %d vs %d", f, one.FlushLength(f), single.FlushLength(f))
+		}
+	}
+}
+
+func TestChainsScanInWidthCheck(t *testing.T) {
+	ch := insertChains(t, "s27", 2)
+	if _, err := ch.ScanInSequence([]logic.Value{logic.One}); err == nil {
+		t.Error("short state accepted")
+	}
+}

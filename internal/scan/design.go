@@ -1,0 +1,95 @@
+package scan
+
+import (
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+// Design abstracts over scan configurations — the single chain of
+// Insert and the multiple chains of InsertChains — so test generation
+// works unchanged on either (the paper: "all the procedures developed
+// can be easily applied to circuits with multiple scan chains").
+type Design interface {
+	// ScanCircuit returns C_scan.
+	ScanCircuit() *netlist.Circuit
+	// NumStateVars returns the total number of scan state variables.
+	NumStateVars() int
+	// SelInput returns the input position of scan_sel.
+	SelInput() int
+	// FlushLength returns how many scan_sel=1 vectors move an effect
+	// latched in flip-flop ff to its chain's scan output.
+	FlushLength(ff int) int
+	// FlushVectors returns FlushLength(ff) shift vectors (original
+	// inputs at X).
+	FlushVectors(ff int) logic.Sequence
+	// ScanInSequence returns the shift vectors that load state into
+	// the chain(s).
+	ScanInSequence(state []logic.Value) (logic.Sequence, error)
+	// ScanOutSequence returns the shift vectors that empty the
+	// chain(s) for observation (a complete scan-out).
+	ScanOutSequence() logic.Sequence
+	// FunctionalVector widens a vector over the original circuit's
+	// inputs to a C_scan vector with scan_sel = 0.
+	FunctionalVector(orig logic.Vector) logic.Vector
+	// OrigCircuit returns the circuit scan was inserted into.
+	OrigCircuit() *netlist.Circuit
+	// IsScanSel reports whether a vector performs a scan shift.
+	IsScanSel(v logic.Vector) bool
+}
+
+var (
+	_ Design = (*Circuit)(nil)
+	_ Design = (*Chains)(nil)
+)
+
+// ScanCircuit returns C_scan.
+func (sc *Circuit) ScanCircuit() *netlist.Circuit { return sc.Scan }
+
+// NumStateVars returns the chain length.
+func (sc *Circuit) NumStateVars() int { return sc.NSV }
+
+// SelInput returns the input position of scan_sel.
+func (sc *Circuit) SelInput() int { return sc.SelPI }
+
+// FlushLength returns the number of shifts that bring an effect in
+// flip-flop ff to scan_out.
+func (sc *Circuit) FlushLength(ff int) int {
+	n := sc.NSV - 1 - ff
+	if n < 0 {
+		n = 0
+	}
+	return n
+}
+
+// ScanOutSequence returns NSV shift vectors emptying the chain.
+func (sc *Circuit) ScanOutSequence() logic.Sequence {
+	seq := make(logic.Sequence, sc.NSV)
+	for t := range seq {
+		seq[t] = sc.ShiftVector(logic.X)
+	}
+	return seq
+}
+
+// OrigCircuit returns the circuit scan was inserted into.
+func (sc *Circuit) OrigCircuit() *netlist.Circuit { return sc.Orig }
+
+// ScanOutSequence returns MaxLen shift vectors emptying every chain.
+func (ch *Chains) ScanOutSequence() logic.Sequence {
+	seq := make(logic.Sequence, ch.MaxLen())
+	for t := range seq {
+		seq[t] = ch.ShiftVector(nil)
+	}
+	return seq
+}
+
+// FunctionalVector widens a vector over the original inputs to a C_scan
+// vector with scan_sel = 0 and chain inputs at X.
+func (ch *Chains) FunctionalVector(orig logic.Vector) logic.Vector {
+	v := logic.NewVector(ch.Scan.NumInputs())
+	copy(v, orig)
+	v[ch.SelPI] = logic.Zero
+	return v
+}
+
+// OrigCircuit returns the circuit scan was inserted into.
+func (ch *Chains) OrigCircuit() *netlist.Circuit { return ch.Orig }

@@ -1,0 +1,94 @@
+package scan
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/circuits"
+	"repro/internal/logic"
+	"repro/internal/sim"
+)
+
+// TestScanInIdentityProperty: for any state and any chain count, a
+// scan-in load establishes exactly that state (quick-checked over
+// random states).
+func TestScanInIdentityProperty(t *testing.T) {
+	c, err := circuits.Load("s298")
+	if err != nil {
+		t.Fatal(err)
+	}
+	designs := []Design{}
+	single, err := Insert(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	designs = append(designs, single)
+	for _, n := range []int{2, 5} {
+		ch, err := InsertChains(c, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		designs = append(designs, ch)
+	}
+	for di, d := range designs {
+		f := func(bits uint64) bool {
+			state := make([]logic.Value, d.NumStateVars())
+			for i := range state {
+				state[i] = logic.Zero
+				if bits&(1<<uint(i%64)) != 0 {
+					state[i] = logic.One
+				}
+			}
+			seq, err := d.ScanInSequence(state)
+			if err != nil {
+				return false
+			}
+			m := sim.New(d.ScanCircuit())
+			for _, v := range seq {
+				m.Step(v)
+			}
+			got := m.StateSlot(0)
+			for i := range state {
+				if got[i] != state[i] {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+			t.Errorf("design %d: %v", di, err)
+		}
+	}
+}
+
+// TestScanOutRoundTripProperty: scanning a random state out through the
+// chain observes every bit on scan_out, newest position first.
+func TestScanOutRoundTripProperty(t *testing.T) {
+	c, _ := circuits.Load("s27")
+	sc, err := Insert(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(bits uint8) bool {
+		state := make([]logic.Value, sc.NSV)
+		for i := range state {
+			state[i] = logic.Zero
+			if bits&(1<<uint(i)) != 0 {
+				state[i] = logic.One
+			}
+		}
+		m := sim.New(sc.Scan)
+		m.SetStateBroadcast(state)
+		// Shift NSV times; scan_out at shift k shows position NSV-1-k.
+		for k := 0; k < sc.NSV; k++ {
+			m.Step(sc.ShiftVector(logic.Zero))
+			if got := m.OutputSlot(sc.OutPO, 0); got != state[sc.NSV-1-k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

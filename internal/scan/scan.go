@@ -1,0 +1,190 @@
+// Package scan inserts a single mux-based scan chain into a synchronous
+// sequential circuit, producing the circuit the paper calls C_scan: the
+// original circuit plus two extra primary inputs (scan_sel, scan_inp)
+// and one extra primary output (scan_out).
+//
+// The multiplexers in front of the flip-flops are built from ordinary
+// gates (two ANDs and an OR per flip-flop, sharing one inverter for the
+// select), so the faults introduced by the scan logic are part of the
+// fault universe — the paper explicitly targets them.
+//
+// Chain order follows flip-flop declaration order, matching the paper's
+// "order of the flip-flops in the scan chains is identical to their
+// order in the circuit description": scan_inp feeds flip-flop 0, whose
+// output feeds flip-flop 1, and so on; scan_out observes the output of
+// the last flip-flop.
+package scan
+
+import (
+	"fmt"
+
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+// Circuit bundles the scan-inserted circuit with the bookkeeping the
+// test generation and translation procedures need.
+type Circuit struct {
+	// Scan is C_scan, the circuit with the chain inserted.
+	Scan *netlist.Circuit
+	// Orig is the circuit scan was inserted into.
+	Orig *netlist.Circuit
+	// SelPI and InpPI are the positions of scan_sel and scan_inp in
+	// Scan.Inputs (they are the last two inputs, in this order).
+	SelPI, InpPI int
+	// OutPO is the position of scan_out in Scan.Outputs (last).
+	OutPO int
+	// NSV is the number of state variables in the chain.
+	NSV int
+	// SelName and InpName are the actual signal names chosen for the
+	// scan controls (uniquified against the original name space).
+	SelName, InpName string
+}
+
+// Insert builds C_scan from c. The circuit must have at least one
+// flip-flop.
+func Insert(c *netlist.Circuit) (*Circuit, error) {
+	if c.NumFFs() == 0 {
+		return nil, fmt.Errorf("scan: circuit %q has no flip-flops", c.Name)
+	}
+	used := make(map[string]bool, len(c.Signals))
+	for _, s := range c.Signals {
+		used[s.Name] = true
+	}
+	unique := func(base string) string {
+		name := base
+		for i := 2; used[name]; i++ {
+			name = fmt.Sprintf("%s_%d", base, i)
+		}
+		used[name] = true
+		return name
+	}
+	selName := unique("scan_sel")
+	inpName := unique("scan_inp")
+	nselName := unique("scan_nsel")
+
+	b := netlist.NewBuilder(c.Name + "_scan")
+	for _, in := range c.Inputs {
+		b.AddInput(c.SignalName(in))
+	}
+	b.AddInput(selName)
+	b.AddInput(inpName)
+
+	// Shared inverted select.
+	b.AddGate(netlist.NOT, nselName, selName)
+
+	// Original combinational gates, unchanged.
+	for _, gi := range c.Order {
+		g := c.Gates[gi]
+		in := make([]string, len(g.In))
+		for i, s := range g.In {
+			in[i] = c.SignalName(s)
+		}
+		b.AddGate(g.Type, c.SignalName(g.Out), in...)
+	}
+
+	// Flip-flops with scan muxes, chained in declaration order.
+	prev := inpName
+	for fi, ff := range c.FFs {
+		q := c.SignalName(ff.Q)
+		d := c.SignalName(ff.D)
+		funcPath := unique(fmt.Sprintf("scan_mf_%d", fi))
+		shiftPath := unique(fmt.Sprintf("scan_ms_%d", fi))
+		muxOut := unique(fmt.Sprintf("scan_md_%d", fi))
+		b.AddGate(netlist.AND, funcPath, nselName, d)
+		b.AddGate(netlist.AND, shiftPath, selName, prev)
+		b.AddGate(netlist.OR, muxOut, funcPath, shiftPath)
+		b.AddFF(q, muxOut)
+		prev = q
+	}
+
+	for _, out := range c.Outputs {
+		b.MarkOutput(c.SignalName(out))
+	}
+	b.MarkOutput(prev) // scan_out observes the last flip-flop
+
+	sc, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("scan: %w", err)
+	}
+	return &Circuit{
+		Scan:    sc,
+		Orig:    c,
+		SelPI:   sc.NumInputs() - 2,
+		InpPI:   sc.NumInputs() - 1,
+		OutPO:   sc.NumOutputs() - 1,
+		NSV:     c.NumFFs(),
+		SelName: selName,
+		InpName: inpName,
+	}, nil
+}
+
+// ShiftVector returns one input vector for C_scan performing a single
+// scan shift: scan_sel = 1, scan_inp = inp, all original primary inputs
+// at X (callers typically fill them randomly afterwards).
+func (sc *Circuit) ShiftVector(inp logic.Value) logic.Vector {
+	v := logic.NewVector(sc.Scan.NumInputs())
+	v[sc.SelPI] = logic.One
+	v[sc.InpPI] = inp
+	return v
+}
+
+// FunctionalVector returns one input vector for C_scan applying the
+// original-circuit vector orig with scan_sel = 0 and scan_inp = X.
+func (sc *Circuit) FunctionalVector(orig logic.Vector) logic.Vector {
+	v := logic.NewVector(sc.Scan.NumInputs())
+	copy(v, orig)
+	v[sc.SelPI] = logic.Zero
+	v[sc.InpPI] = logic.X
+	return v
+}
+
+// ScanInSequence returns the NSV shift vectors that load state into the
+// chain. state[i] is the value flip-flop i must hold after the load;
+// because flip-flop 0 is nearest scan_inp, state is fed last element
+// first (the paper's "we reversed the state s").
+func (sc *Circuit) ScanInSequence(state []logic.Value) (logic.Sequence, error) {
+	if len(state) != sc.NSV {
+		return nil, fmt.Errorf("scan: state width %d, chain length %d", len(state), sc.NSV)
+	}
+	seq := make(logic.Sequence, sc.NSV)
+	for t := 0; t < sc.NSV; t++ {
+		seq[t] = sc.ShiftVector(state[sc.NSV-1-t])
+	}
+	return seq, nil
+}
+
+// FlushVectors returns the scan_sel = 1 vectors that move a fault effect
+// latched into flip-flop ff (0-based chain position) to the scan output.
+// Following the paper, an effect in flip-flop i (1-based) needs
+// NSV - i shift vectors; one further vector of any kind must follow for
+// the value to be observed on scan_out.
+func (sc *Circuit) FlushVectors(ff int) logic.Sequence {
+	n := sc.NSV - 1 - ff
+	if n < 0 {
+		n = 0
+	}
+	seq := make(logic.Sequence, n)
+	for t := range seq {
+		seq[t] = sc.ShiftVector(logic.X)
+	}
+	return seq
+}
+
+// IsScanSel reports whether vector v performs a scan shift (scan_sel is
+// 1).
+func (sc *Circuit) IsScanSel(v logic.Vector) bool {
+	return sc.SelPI < len(v) && v[sc.SelPI] == logic.One
+}
+
+// CountScanVectors counts the vectors of seq with scan_sel = 1 — the
+// "scan" columns of the paper's Tables 6 and 7.
+func (sc *Circuit) CountScanVectors(seq logic.Sequence) int {
+	n := 0
+	for _, v := range seq {
+		if sc.IsScanSel(v) {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,242 @@
+package scan
+
+import (
+	"testing"
+
+	"repro/internal/circuits"
+	"repro/internal/fault"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/sim"
+)
+
+func insertS27(t *testing.T) *Circuit {
+	t.Helper()
+	c, err := circuits.Load("s27")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := Insert(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+func TestInsertInterface(t *testing.T) {
+	sc := insertS27(t)
+	if sc.NSV != 3 {
+		t.Fatalf("NSV = %d", sc.NSV)
+	}
+	// Two extra inputs, one extra output.
+	if sc.Scan.NumInputs() != sc.Orig.NumInputs()+2 {
+		t.Errorf("inputs = %d", sc.Scan.NumInputs())
+	}
+	if sc.Scan.NumOutputs() != sc.Orig.NumOutputs()+1 {
+		t.Errorf("outputs = %d", sc.Scan.NumOutputs())
+	}
+	if sc.Scan.Inputs[sc.SelPI] != mustSignal(t, sc.Scan, sc.SelName) {
+		t.Error("SelPI wrong")
+	}
+	if sc.Scan.Inputs[sc.InpPI] != mustSignal(t, sc.Scan, sc.InpName) {
+		t.Error("InpPI wrong")
+	}
+	// Gate overhead: one shared inverter plus 3 gates per flip-flop.
+	wantGates := sc.Orig.NumGates() + 1 + 3*sc.NSV
+	if sc.Scan.NumGates() != wantGates {
+		t.Errorf("gates = %d, want %d", sc.Scan.NumGates(), wantGates)
+	}
+}
+
+func mustSignal(t *testing.T, c *netlist.Circuit, name string) netlist.SignalID {
+	t.Helper()
+	id, ok := c.SignalByName(name)
+	if !ok {
+		t.Fatalf("signal %s missing", name)
+	}
+	return id
+}
+
+// TestScanInLoadsState shifts a state in through scan_inp and verifies
+// every flip-flop holds the requested value.
+func TestScanInLoadsState(t *testing.T) {
+	sc := insertS27(t)
+	want := []logic.Value{logic.Zero, logic.One, logic.One} // SI = 011
+	seq, err := sc.ScanInSequence(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != sc.NSV {
+		t.Fatalf("scan-in length = %d", len(seq))
+	}
+	m := sim.New(sc.Scan)
+	for _, v := range seq {
+		m.Step(v)
+	}
+	got := m.StateSlot(0)
+	for i, w := range want {
+		if got[i] != w {
+			t.Errorf("FF %d = %v, want %v (state %v)", i, got[i], w, got)
+		}
+	}
+}
+
+// TestScanOutObservesChain loads a state and shifts it out, checking the
+// serial values on scan_out.
+func TestScanOutObservesChain(t *testing.T) {
+	sc := insertS27(t)
+	state := []logic.Value{logic.One, logic.Zero, logic.One}
+	seq, _ := sc.ScanInSequence(state)
+	m := sim.New(sc.Scan)
+	for _, v := range seq {
+		m.Step(v)
+	}
+	// Shift out: scan_out shows FF2, then FF1, then FF0.
+	wantOrder := []logic.Value{state[2], state[1], state[0]}
+	for k, w := range wantOrder {
+		v := sc.ShiftVector(logic.Zero)
+		m.Step(v)
+		// Output during the step reflects the pre-shift state.
+		if got := m.OutputSlot(sc.OutPO, 0); got != w {
+			t.Errorf("shift %d: scan_out = %v, want %v", k, got, w)
+		}
+	}
+}
+
+// TestFunctionalModePreservesBehaviour: with scan_sel = 0, C_scan must
+// behave exactly like the original circuit on the original outputs.
+func TestFunctionalModePreservesBehaviour(t *testing.T) {
+	orig, err := circuits.Load("s27")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := Insert(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mo := sim.New(orig)
+	ms := sim.New(sc.Scan)
+	start := []logic.Value{logic.Zero, logic.One, logic.Zero}
+	mo.SetStateBroadcast(start)
+	ms.SetStateBroadcast(start)
+	rng := logic.NewRandFiller(2024)
+	for step := 0; step < 50; step++ {
+		ov := make(logic.Vector, orig.NumInputs())
+		for i := range ov {
+			ov[i] = rng.Next()
+		}
+		mo.Step(ov)
+		ms.Step(sc.FunctionalVector(ov))
+		for po := 0; po < orig.NumOutputs(); po++ {
+			if mo.OutputSlot(po, 0) != ms.OutputSlot(po, 0) {
+				t.Fatalf("step %d output %d: orig=%v scan=%v", step, po,
+					mo.OutputSlot(po, 0), ms.OutputSlot(po, 0))
+			}
+		}
+	}
+}
+
+func TestFlushVectors(t *testing.T) {
+	sc := insertS27(t)
+	if got := len(sc.FlushVectors(0)); got != 2 {
+		t.Errorf("flush from FF0 = %d vectors, want 2", got)
+	}
+	if got := len(sc.FlushVectors(2)); got != 0 {
+		t.Errorf("flush from last FF = %d vectors, want 0", got)
+	}
+	for _, v := range sc.FlushVectors(0) {
+		if !sc.IsScanSel(v) {
+			t.Error("flush vector without scan_sel = 1")
+		}
+	}
+}
+
+// TestFlushMakesEffectObservable: force distinct values into the chain,
+// then check that after FlushVectors(i) plus one observation vector the
+// value originally in flip-flop i appears on scan_out.
+func TestFlushMakesEffectObservable(t *testing.T) {
+	sc := insertS27(t)
+	state := []logic.Value{logic.One, logic.Zero, logic.Zero}
+	for ffi := 0; ffi < sc.NSV; ffi++ {
+		m := sim.New(sc.Scan)
+		st := make([]logic.Value, sc.NSV)
+		for i := range st {
+			st[i] = logic.Zero
+		}
+		st[ffi] = state[0]
+		m.SetStateBroadcast(st)
+		flush := sc.FlushVectors(ffi)
+		for _, v := range flush {
+			m.Step(v)
+		}
+		// One more vector to observe the shifted value.
+		m.Step(sc.ShiftVector(logic.Zero))
+		if got := m.OutputSlot(sc.OutPO, 0); got != logic.One {
+			t.Errorf("FF %d: scan_out = %v after flush, want 1", ffi, got)
+		}
+	}
+}
+
+func TestCountScanVectors(t *testing.T) {
+	sc := insertS27(t)
+	seq := logic.Sequence{
+		sc.ShiftVector(logic.One),
+		sc.FunctionalVector(logic.NewVector(4)),
+		sc.ShiftVector(logic.Zero),
+	}
+	if got := sc.CountScanVectors(seq); got != 2 {
+		t.Errorf("CountScanVectors = %d, want 2", got)
+	}
+}
+
+func TestScanInSequenceWidthCheck(t *testing.T) {
+	sc := insertS27(t)
+	if _, err := sc.ScanInSequence([]logic.Value{logic.One}); err == nil {
+		t.Error("short state accepted")
+	}
+}
+
+func TestInsertRequiresFFs(t *testing.T) {
+	b := netlist.NewBuilder("comb")
+	b.AddInput("a")
+	b.AddGate(netlist.NOT, "y", "a")
+	b.MarkOutput("y")
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Insert(c); err == nil {
+		t.Error("combinational circuit accepted")
+	}
+}
+
+func TestInsertNameCollision(t *testing.T) {
+	b := netlist.NewBuilder("clash")
+	b.AddInput("scan_sel") // collides with the preferred name
+	b.AddGate(netlist.NOT, "d", "scan_sel")
+	b.AddFF("q", "d")
+	b.MarkOutput("q")
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := Insert(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.SelName == "scan_sel" {
+		t.Error("collision not uniquified")
+	}
+}
+
+// TestScanFaultsAreTargetable: the mux gates introduce new fault sites;
+// the universe of C_scan must strictly contain more faults than the
+// original circuit's.
+func TestScanFaultsAreTargetable(t *testing.T) {
+	sc := insertS27(t)
+	orig := fault.Universe(sc.Orig, false)
+	scanned := fault.Universe(sc.Scan, false)
+	if len(scanned) <= len(orig) {
+		t.Errorf("scan universe %d <= original %d", len(scanned), len(orig))
+	}
+}

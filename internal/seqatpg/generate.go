@@ -1,0 +1,476 @@
+// Package seqatpg implements the paper's Section 2 test generation
+// procedure: a forward-time sequential test generator for non-scan
+// circuits, applied to the scan circuit C_scan with scan_sel and
+// scan_inp treated as ordinary primary inputs — plus the
+// "functional-level knowledge of scan" enhancement that flushes fault
+// effects out of the scan chain when ordinary propagation fails.
+//
+// The generator builds the test sequence T by concatenating, per target
+// fault, a subsequence generated forward in time from the final
+// fault-free state reached under T. Each frame's input vector is chosen
+// from a candidate pool — a deterministic PODEM suggestion for the
+// single frame plus pseudo-random vectors — scored by how far the fault
+// effect travels (detection ≫ effects latched in flip-flops, deeper
+// chain positions preferred, then excitation and state initialization).
+package seqatpg
+
+import (
+	"math/bits"
+
+	"repro/internal/combatpg"
+	"repro/internal/fault"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/scan"
+	"repro/internal/sim"
+)
+
+// Options tunes the generator. Zero values select defaults.
+type Options struct {
+	// Seed drives every pseudo-random choice; runs are deterministic
+	// in (circuit, fault list, Options).
+	Seed uint64
+	// MaxFrames bounds the length of one subsequence attempt
+	// (default 2*NSV+10, capped at 80).
+	MaxFrames int
+	// Candidates is the number of vectors evaluated per frame,
+	// including the PODEM suggestion (default 16, max 64).
+	Candidates int
+	// PodemBacktracks bounds the per-frame PODEM search (default 30).
+	PodemBacktracks int
+	// DisableScanKnowledge turns off the paper's functional-level
+	// enhancement (flushing effects to scan_out); used for ablation.
+	DisableScanKnowledge bool
+	// Passes is how many times the undetected faults are retried with
+	// fresh random choices (default 2).
+	Passes int
+	// RandomPhase prepends this many pseudo-random vectors before
+	// targeted generation starts, detecting easy faults cheaply. The
+	// paper's procedure does not use one (its sequences are compacted
+	// afterwards anyway), so the default is 0.
+	RandomPhase int
+}
+
+func (o Options) withDefaults(nsv int) Options {
+	if o.MaxFrames <= 0 {
+		o.MaxFrames = 2*nsv + 10
+		if o.MaxFrames > 80 {
+			o.MaxFrames = 80
+		}
+	}
+	if o.Candidates <= 0 {
+		o.Candidates = 16
+	}
+	if o.Candidates > sim.Slots {
+		o.Candidates = sim.Slots
+	}
+	if o.PodemBacktracks <= 0 {
+		o.PodemBacktracks = 30
+	}
+	if o.Passes <= 0 {
+		o.Passes = 2
+	}
+	return o
+}
+
+// Result is the outcome of Generate.
+type Result struct {
+	// Sequence is the generated test sequence for C_scan; its length
+	// is the test application time in clock cycles.
+	Sequence logic.Sequence
+	// DetectedAt[i] is the vector index at which fault i is detected,
+	// or sim.NotDetected.
+	DetectedAt []int
+	// Funct[i] marks faults detected through the scan-knowledge flush
+	// mechanism (the paper's "funct" column in Table 5).
+	Funct []bool
+}
+
+// NumDetected counts detected faults.
+func (r Result) NumDetected() int {
+	n := 0
+	for _, t := range r.DetectedAt {
+		if t != sim.NotDetected {
+			n++
+		}
+	}
+	return n
+}
+
+// NumFunct counts faults detected via the flush mechanism.
+func (r Result) NumFunct() int {
+	n := 0
+	for _, f := range r.Funct {
+		if f {
+			n++
+		}
+	}
+	return n
+}
+
+// Generate runs the Section 2 procedure on sc for the given fault list
+// (normally fault.Universe of sc.Scan, which includes the scan logic's
+// own faults).
+func Generate(sc scan.Design, faults []fault.Fault, opts Options) Result {
+	opts = opts.withDefaults(sc.NumStateVars())
+	c := sc.ScanCircuit()
+	mgr := NewManager(c, faults)
+	pod := combatpg.NewGenerator(c, combatpg.Options{
+		ObservePPO:    true,
+		MaxBacktracks: opts.PodemBacktracks,
+	})
+	// podFull may also assign the present state; its solutions are
+	// justified through the scan chain (the paper's second use of
+	// functional-level scan knowledge).
+	podFull := combatpg.NewGenerator(c, combatpg.Options{
+		AssignState:   true,
+		ObservePPO:    true,
+		MaxBacktracks: 10 * opts.PodemBacktracks,
+	})
+	rng := logic.NewRandFiller(opts.Seed ^ 0xA5A5A5A5)
+	a := newAttempter(sc, opts)
+
+	var seq logic.Sequence
+	funct := make([]bool, len(faults))
+	if opts.RandomPhase > 0 {
+		phase := logic.NewRandFiller(opts.Seed ^ 0x52414E44)
+		for i := 0; i < opts.RandomPhase; i++ {
+			v := make(logic.Vector, c.NumInputs())
+			for j := range v {
+				v[j] = phase.Next()
+			}
+			seq = append(seq, v)
+			mgr.Append(v)
+		}
+	}
+	for pass := 0; pass < opts.Passes; pass++ {
+		for fi := range faults {
+			if mgr.Detected(fi) {
+				continue
+			}
+			sub, flushStart, ok := a.attempt(faults[fi], mgr.GoodState(), mgr.FaultyState(fi), pod, podFull, rng)
+			if !ok {
+				continue
+			}
+			start := len(seq)
+			seq = append(seq, sub...)
+			mgr.AppendSequence(sub)
+			if mgr.Detected(fi) && flushStart >= 0 && mgr.DetectedAt[fi] >= start+flushStart {
+				funct[fi] = true
+			}
+		}
+	}
+	return Result{Sequence: seq, DetectedAt: mgr.DetectedAt, Funct: funct}
+}
+
+// attempter holds the per-attempt machinery (two simulation machines)
+// reused across faults.
+type attempter struct {
+	sc   scan.Design
+	opts Options
+	mg   *sim.Machine // fault-free
+	mf   *sim.Machine // with the target fault in every slot
+	// flushLen[f] caches sc.FlushLength(f); depthBonus[f] rewards
+	// latched effects that are cheap to flush out.
+	flushLen   []int
+	depthBonus []int64
+}
+
+func newAttempter(sc scan.Design, opts Options) *attempter {
+	c := sc.ScanCircuit()
+	a := &attempter{
+		sc:   sc,
+		opts: opts,
+		mg:   sim.New(c),
+		mf:   sim.New(c),
+	}
+	nsv := sc.NumStateVars()
+	a.flushLen = make([]int, c.NumFFs())
+	a.depthBonus = make([]int64, c.NumFFs())
+	for f := range a.flushLen {
+		a.flushLen[f] = sc.FlushLength(f)
+		a.depthBonus[f] = int64(500*(nsv-a.flushLen[f])) / int64(nsv)
+	}
+	return a
+}
+
+// attempt tries to generate a subsequence detecting f starting from the
+// given good/faulty states. It returns the subsequence, the index at
+// which appended scan-knowledge flush vectors start (-1 when detection
+// needed none), and whether it succeeded.
+func (a *attempter) attempt(f fault.Fault, goodState, faultyState []logic.Value, pod, podFull *combatpg.Generator, rng *logic.RandFiller) (logic.Sequence, int, bool) {
+	inject := func(m *sim.Machine) error { return m.InjectFault(f, sim.AllSlots) }
+	return a.attemptWith(f, inject, goodState, faultyState, pod, podFull, rng)
+}
+
+// attemptWith is the model-agnostic core of attempt: inject installs
+// the target fault (stuck-at, transition, ...) into the faulty machine;
+// the PODEM oracles may be nil for fault models PODEM does not handle.
+func (a *attempter) attemptWith(f fault.Fault, inject func(*sim.Machine) error, goodState, faultyState []logic.Value, pod, podFull *combatpg.Generator, rng *logic.RandFiller) (logic.Sequence, int, bool) {
+	a.mg.ClearFaults()
+	a.mg.SetStateBroadcast(goodState)
+	a.mf.ClearFaults()
+	if err := inject(a.mf); err != nil {
+		return nil, -1, false
+	}
+	a.mf.Reset() // clear any transition-fault history
+	a.mf.SetStateBroadcast(faultyState)
+
+	var sub logic.Sequence
+	bestFFPos, bestPrefix := -1, -1
+
+	for frame := 0; frame < a.opts.MaxFrames; frame++ {
+		cands := a.candidates(f, pod, rng)
+		gSnap, fSnap := a.mg.SaveState(), a.mf.SaveState()
+		a.mg.StepMulti(cands)
+		a.mf.StepMulti(cands)
+		slot, detected := a.pickBest(f, len(cands), rng)
+		a.mg.RestoreState(gSnap)
+		a.mf.RestoreState(fSnap)
+
+		chosen := cands[slot]
+		a.mg.Step(chosen)
+		a.mf.Step(chosen)
+		sub = append(sub, chosen)
+		if detected {
+			return sub, -1, true
+		}
+		// Track the deepest chain position holding a latched effect
+		// (larger index = nearer scan_out = shorter flush).
+		if pos := a.deepestLatchedEffect(); pos > bestFFPos {
+			bestFFPos, bestPrefix = pos, len(sub)
+		}
+	}
+
+	if a.opts.DisableScanKnowledge {
+		return nil, -1, false
+	}
+	// First use of functional-level scan knowledge: an effect reached
+	// flip-flop bestFFPos during the forward search; flush it out.
+	if bestFFPos >= 0 {
+		if seq, flushStart, ok := a.withFlush(goodState, faultyState, sub[:bestPrefix], rng); ok {
+			return seq, flushStart, true
+		}
+	}
+	// Second use: justify an arbitrary activation state through the
+	// scan chain. PODEM with full state controllability finds (s, v);
+	// the chain loads s in NSV shifts, then v is applied.
+	if podFull == nil {
+		return nil, -1, false
+	}
+	return a.justifyAttempt(f, goodState, faultyState, podFull, rng)
+}
+
+// withFlush appends flush vectors for the deepest latched effect of the
+// prefix plus one observation vector, and verifies detection.
+func (a *attempter) withFlush(goodState, faultyState []logic.Value, prefix logic.Sequence, rng *logic.RandFiller) (logic.Sequence, int, bool) {
+	c := a.sc.ScanCircuit()
+	// Re-simulate the prefix to find the latched effect position at
+	// its end (the caller truncated to the best prefix).
+	a.mg.SetStateBroadcast(goodState)
+	a.mf.Reset() // transition-fault history restarts with the replay
+	a.mf.SetStateBroadcast(faultyState)
+	for _, v := range prefix {
+		a.mg.Step(v)
+		a.mf.Step(v)
+	}
+	pos := a.deepestLatchedEffect()
+	if pos < 0 {
+		return nil, -1, false
+	}
+	seq := append(logic.Sequence{}, prefix...)
+	flushStart := len(seq)
+	for _, v := range a.sc.FlushVectors(pos) {
+		w := v.Clone()
+		fillRandom(w, rng)
+		seq = append(seq, w)
+	}
+	obs := logic.NewVector(c.NumInputs())
+	obs[a.sc.SelInput()] = logic.Zero
+	fillRandom(obs, rng)
+	seq = append(seq, obs)
+
+	det := a.simulateDetect(goodState, faultyState, seq)
+	if det < 0 {
+		return nil, -1, false
+	}
+	return seq[:det+1], flushStart, true
+}
+
+// justifyAttempt finds a single-frame test (state, vector) with PODEM,
+// loads the state through the scan chain, applies the vector, and — if
+// the detection was at a flip-flop rather than a primary output —
+// flushes the latched effect to scan_out.
+func (a *attempter) justifyAttempt(f fault.Fault, goodState, faultyState []logic.Value, podFull *combatpg.Generator, rng *logic.RandFiller) (logic.Sequence, int, bool) {
+	r := podFull.Generate(f)
+	if r.Status != combatpg.Success {
+		return nil, -1, false
+	}
+	fillRandom(r.State, rng)
+	fillRandom(r.Vector, rng)
+	scanin, err := a.sc.ScanInSequence(r.State)
+	if err != nil {
+		return nil, -1, false
+	}
+	seq := make(logic.Sequence, 0, len(scanin)+2+a.sc.NumStateVars())
+	for _, v := range scanin {
+		w := v.Clone()
+		fillRandom(w, rng)
+		seq = append(seq, w)
+	}
+	seq = append(seq, r.Vector)
+
+	// The frame may already expose the fault on a primary output.
+	if det := a.simulateDetect(goodState, faultyState, seq); det >= 0 {
+		return seq[:det+1], -1, true
+	}
+	// Otherwise the effect (if any) is latched; flush it.
+	return a.withFlush(goodState, faultyState, seq, rng)
+}
+
+// simulateDetect re-simulates seq from the given start states and
+// returns the first vector index with a definite discrepancy on a
+// primary output, or -1. The rule matches the Manager's.
+func (a *attempter) simulateDetect(goodState, faultyState []logic.Value, seq logic.Sequence) int {
+	c := a.sc.ScanCircuit()
+	a.mg.SetStateBroadcast(goodState)
+	a.mf.Reset() // transition-fault history restarts with the replay
+	a.mf.SetStateBroadcast(faultyState)
+	for t, v := range seq {
+		a.mg.Step(v)
+		a.mf.Step(v)
+		for po := 0; po < c.NumOutputs(); po++ {
+			gz, gd := a.mg.OutputPlanes(po)
+			fz, fd := a.mf.OutputPlanes(po)
+			if effectMask(gz, gd, fz, fd)&1 != 0 {
+				return t
+			}
+		}
+	}
+	return -1
+}
+
+// candidates builds the per-frame candidate pool: the PODEM suggestion
+// (when one exists) followed by random binary vectors.
+func (a *attempter) candidates(f fault.Fault, pod *combatpg.Generator, rng *logic.RandFiller) []logic.Vector {
+	c := a.sc.ScanCircuit()
+	var cands []logic.Vector
+	if pod != nil {
+		pod.SetStates(a.mg.StateSlot(0), a.mf.StateSlot(0))
+		if r := pod.Generate(f); r.Status == combatpg.Success {
+			v := r.Vector
+			fillRandom(v, rng)
+			cands = append(cands, v)
+		}
+	}
+	for len(cands) < a.opts.Candidates {
+		v := make(logic.Vector, c.NumInputs())
+		for i := range v {
+			v[i] = rng.Next()
+		}
+		cands = append(cands, v)
+	}
+	return cands
+}
+
+func fillRandom(v logic.Vector, rng *logic.RandFiller) {
+	for i, x := range v {
+		if x == logic.X {
+			v[i] = rng.Next()
+		}
+	}
+}
+
+// effectMask returns, per slot, whether the good and faulty planes hold
+// definite opposite values.
+func effectMask(gz, gd, fz, fd uint64) uint64 {
+	g0 := gz &^ gd
+	g1 := gd &^ gz
+	f0 := fz &^ fd
+	f1 := fd &^ fz
+	return (g0 & f1) | (g1 & f0)
+}
+
+// pickBest scores every candidate slot after a StepMulti on both
+// machines and returns the best slot and whether it detects the fault
+// at a primary output.
+func (a *attempter) pickBest(f fault.Fault, n int, rng *logic.RandFiller) (int, bool) {
+	c := a.sc.ScanCircuit()
+	var detect uint64
+	for po := 0; po < c.NumOutputs(); po++ {
+		gz, gd := a.mg.OutputPlanes(po)
+		fz, fd := a.mf.OutputPlanes(po)
+		detect |= effectMask(gz, gd, fz, fd)
+	}
+	nMask := sim.AllSlots
+	if n < sim.Slots {
+		nMask = (uint64(1) << uint(n)) - 1
+	}
+	if d := detect & nMask; d != 0 {
+		return bits.TrailingZeros64(d), true
+	}
+
+	scores := make([]int64, n)
+	// Latched effects in the scan chain, weighted by count and depth.
+	for fi := 0; fi < c.NumFFs(); fi++ {
+		gz, gd := a.mg.FFPlanes(fi)
+		fz, fd := a.mf.FFPlanes(fi)
+		em := effectMask(gz, gd, fz, fd) & nMask
+		for m := em; m != 0; m &= m - 1 {
+			k := bits.TrailingZeros64(m)
+			scores[k] += 10000 + a.depthBonus[fi]
+		}
+	}
+	// Excitation: effects anywhere in the combinational logic.
+	for s := range c.Signals {
+		sig := netlist.SignalID(s)
+		gz, gd := a.mg.SignalPlanes(sig)
+		fz, fd := a.mf.SignalPlanes(sig)
+		em := effectMask(gz, gd, fz, fd) & nMask
+		for m := em; m != 0; m &= m - 1 {
+			k := bits.TrailingZeros64(m)
+			if scores[k] < 10000 { // cap below the latched-effect band
+				scores[k] += 20
+			}
+		}
+		if f.Site.Signal == sig {
+			// Small extra reward for exciting the target site.
+			for m := em; m != 0; m &= m - 1 {
+				scores[bits.TrailingZeros64(m)] += 50
+			}
+		}
+	}
+	// State initialization: binary fault-free flip-flop values.
+	for fi := 0; fi < c.NumFFs(); fi++ {
+		gz, gd := a.mg.FFPlanes(fi)
+		known := (gz ^ gd) & nMask // exactly one plane set = binary
+		for m := known; m != 0; m &= m - 1 {
+			scores[bits.TrailingZeros64(m)]++
+		}
+	}
+	best, bestScore := 0, int64(-1)
+	for k := 0; k < n; k++ {
+		// Deterministic jitter breaks ties without biasing slot 0.
+		s := scores[k]*8 + int64(rng.Intn(8))
+		if s > bestScore {
+			bestScore = s
+			best = k
+		}
+	}
+	return best, false
+}
+
+// deepestLatchedEffect returns the largest chain position whose flip-
+// flop holds a definite fault effect in slot 0 of the current states,
+// or -1.
+func (a *attempter) deepestLatchedEffect() int {
+	c := a.sc.ScanCircuit()
+	for fi := c.NumFFs() - 1; fi >= 0; fi-- {
+		gz, gd := a.mg.FFPlanes(fi)
+		fz, fd := a.mf.FFPlanes(fi)
+		if effectMask(gz, gd, fz, fd)&1 != 0 {
+			return fi
+		}
+	}
+	return -1
+}

@@ -1,0 +1,156 @@
+package seqatpg
+
+import (
+	"repro/internal/fault"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/sim"
+)
+
+// faultBatch carries up to 64 faults through the growing test sequence
+// in one bit-parallel machine, so appending a vector costs a single
+// simulation step per batch instead of a re-simulation of the whole
+// sequence.
+type faultBatch struct {
+	m      *sim.Machine
+	global []int  // global fault indices, slot-aligned
+	alive  uint64 // slots not yet detected
+}
+
+// Manager tracks the good circuit state and every undetected fault's
+// faulty state as the test sequence grows vector by vector.
+type Manager struct {
+	c       *netlist.Circuit
+	faults  []fault.Fault
+	good    *sim.Machine
+	batches []*faultBatch
+
+	// DetectedAt[i] is the vector index detecting fault i, or -1.
+	DetectedAt []int
+	now        int // number of vectors appended so far
+}
+
+// NewManager builds a Manager over the full fault list with the
+// sequence empty and every flip-flop at X.
+func NewManager(c *netlist.Circuit, faults []fault.Fault) *Manager {
+	mgr := &Manager{
+		c:          c,
+		faults:     faults,
+		good:       sim.New(c),
+		DetectedAt: make([]int, len(faults)),
+	}
+	for i := range mgr.DetectedAt {
+		mgr.DetectedAt[i] = sim.NotDetected
+	}
+	for start := 0; start < len(faults); start += sim.Slots {
+		end := start + sim.Slots
+		if end > len(faults) {
+			end = len(faults)
+		}
+		b := &faultBatch{m: sim.New(c)}
+		for k := start; k < end; k++ {
+			b.global = append(b.global, k)
+			if err := b.m.InjectFault(faults[k], uint64(1)<<uint(k-start)); err != nil {
+				panic(err)
+			}
+			b.alive |= uint64(1) << uint(k-start)
+		}
+		mgr.batches = append(mgr.batches, b)
+	}
+	return mgr
+}
+
+// Len returns the number of vectors appended so far.
+func (mgr *Manager) Len() int { return mgr.now }
+
+// GoodState returns the fault-free state after the appended sequence.
+func (mgr *Manager) GoodState() []logic.Value { return mgr.good.StateSlot(0) }
+
+// NumDetected counts detected faults.
+func (mgr *Manager) NumDetected() int {
+	n := 0
+	for _, t := range mgr.DetectedAt {
+		if t != sim.NotDetected {
+			n++
+		}
+	}
+	return n
+}
+
+// Detected reports whether fault i has been detected.
+func (mgr *Manager) Detected(i int) bool { return mgr.DetectedAt[i] != sim.NotDetected }
+
+// FaultyState returns the faulty-circuit state of fault i after the
+// appended sequence.
+func (mgr *Manager) FaultyState(i int) []logic.Value {
+	b, slot := mgr.locate(i)
+	return b.m.StateSlot(slot)
+}
+
+func (mgr *Manager) locate(i int) (*faultBatch, int) {
+	return mgr.batches[i/sim.Slots], i % sim.Slots
+}
+
+// Append applies one vector to the good machine and every batch,
+// recording new detections at the current time index. It returns the
+// global indices of newly detected faults.
+func (mgr *Manager) Append(v logic.Vector) []int {
+	mgr.good.Step(v)
+	nPO := mgr.c.NumOutputs()
+	goodVals := make([]logic.Value, nPO)
+	for po := 0; po < nPO; po++ {
+		goodVals[po] = mgr.good.OutputSlot(po, 0)
+	}
+	var newly []int
+	for _, b := range mgr.batches {
+		if b.alive == 0 {
+			// Detected batches still step so their state stays
+			// meaningful, but cheaply skipping them is safe because
+			// no one asks for a detected fault's state.
+			continue
+		}
+		b.m.Step(v)
+		var det uint64
+		for po := 0; po < nPO; po++ {
+			if !goodVals[po].IsBinary() {
+				continue
+			}
+			gz, gd := valuePlanes(goodVals[po])
+			fz, fd := b.m.OutputPlanes(po)
+			det |= sim.DetectMask(gz, gd, fz, fd)
+		}
+		det &= b.alive
+		if det != 0 {
+			b.alive &^= det
+			for k, gi := range b.global {
+				if det&(uint64(1)<<uint(k)) != 0 {
+					mgr.DetectedAt[gi] = mgr.now
+					newly = append(newly, gi)
+				}
+			}
+		}
+	}
+	mgr.now++
+	return newly
+}
+
+// AppendSequence appends every vector of seq in order and returns all
+// newly detected fault indices.
+func (mgr *Manager) AppendSequence(seq logic.Sequence) []int {
+	var newly []int
+	for _, v := range seq {
+		newly = append(newly, mgr.Append(v)...)
+	}
+	return newly
+}
+
+func valuePlanes(v logic.Value) (z, o uint64) {
+	switch v {
+	case logic.Zero:
+		return sim.AllSlots, 0
+	case logic.One:
+		return 0, sim.AllSlots
+	default:
+		return sim.AllSlots, sim.AllSlots
+	}
+}

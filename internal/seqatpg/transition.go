@@ -1,0 +1,165 @@
+package seqatpg
+
+import (
+	"repro/internal/fault"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/scan"
+	"repro/internal/sim"
+	"repro/internal/transition"
+)
+
+// TransitionResult reports transition-fault test generation.
+type TransitionResult struct {
+	// Sequence is the generated test sequence for C_scan.
+	Sequence logic.Sequence
+	// DetectedAt[i] is the detecting vector index for transition fault
+	// i, or sim.NotDetected.
+	DetectedAt []int
+}
+
+// NumDetected counts detected transition faults.
+func (r TransitionResult) NumDetected() int {
+	n := 0
+	for _, t := range r.DetectedAt {
+		if t != sim.NotDetected {
+			n++
+		}
+	}
+	return n
+}
+
+// GenerateTransition runs the Section 2 forward search against the
+// gross-delay transition fault model: the candidate-vector fitness and
+// the flush-to-scan-out mechanism carry over unchanged (they operate on
+// value planes, not on the fault model), while the PODEM oracles —
+// which only understand stuck-at faults — are disabled. A transition
+// fault needs consecutive at-speed cycles exercising both values of its
+// site, which the search discovers through the same effect-latching
+// reward.
+func GenerateTransition(sc scan.Design, faults []transition.Fault, opts Options) TransitionResult {
+	opts = opts.withDefaults(sc.NumStateVars())
+	c := sc.ScanCircuit()
+	mgr := newTransManager(c, faults)
+	rng := logic.NewRandFiller(opts.Seed ^ 0x7452414E)
+	a := newAttempter(sc, opts)
+
+	var seq logic.Sequence
+	for pass := 0; pass < opts.Passes; pass++ {
+		for fi := range faults {
+			if mgr.detected(fi) {
+				continue
+			}
+			f := faults[fi]
+			// A pseudo stuck-at fault carries the focus signal for
+			// the candidate fitness; injection installs the real
+			// transition fault.
+			focus := fault.Fault{Site: fault.Site{Signal: f.Signal, Gate: -1, Pin: -1, FF: -1}}
+			inject := func(m *sim.Machine) error {
+				return m.InjectTransitionFault(f.Signal, f.SlowToRise, sim.AllSlots)
+			}
+			sub, _, ok := a.attemptWith(focus, inject, mgr.goodState(), mgr.faultyState(fi), nil, nil, rng)
+			if !ok {
+				continue
+			}
+			seq = append(seq, sub...)
+			mgr.appendSequence(sub)
+		}
+	}
+	return TransitionResult{Sequence: seq, DetectedAt: mgr.detAt}
+}
+
+// transManager mirrors Manager for transition faults: per-batch
+// machines carry every undetected fault's state (including its one-
+// cycle delay history) through the growing sequence.
+type transManager struct {
+	c       *netlist.Circuit
+	faults  []transition.Fault
+	good    *sim.Machine
+	batches []*transBatch
+	detAt   []int
+	now     int
+}
+
+type transBatch struct {
+	m     *sim.Machine
+	start int
+	n     int
+	alive uint64
+}
+
+func newTransManager(c *netlist.Circuit, faults []transition.Fault) *transManager {
+	mgr := &transManager{
+		c:      c,
+		faults: faults,
+		good:   sim.New(c),
+		detAt:  make([]int, len(faults)),
+	}
+	for i := range mgr.detAt {
+		mgr.detAt[i] = sim.NotDetected
+	}
+	for start := 0; start < len(faults); start += sim.Slots {
+		end := start + sim.Slots
+		if end > len(faults) {
+			end = len(faults)
+		}
+		b := &transBatch{m: sim.New(c), start: start, n: end - start}
+		for k := start; k < end; k++ {
+			if err := b.m.InjectTransitionFault(faults[k].Signal, faults[k].SlowToRise, uint64(1)<<uint(k-start)); err != nil {
+				panic(err)
+			}
+			b.alive |= uint64(1) << uint(k-start)
+		}
+		mgr.batches = append(mgr.batches, b)
+	}
+	return mgr
+}
+
+func (mgr *transManager) detected(i int) bool { return mgr.detAt[i] != sim.NotDetected }
+
+func (mgr *transManager) goodState() []logic.Value { return mgr.good.StateSlot(0) }
+
+func (mgr *transManager) faultyState(i int) []logic.Value {
+	b := mgr.batches[i/sim.Slots]
+	return b.m.StateSlot(i % sim.Slots)
+}
+
+func (mgr *transManager) appendSequence(seq logic.Sequence) {
+	for _, v := range seq {
+		mgr.append(v)
+	}
+}
+
+func (mgr *transManager) append(v logic.Vector) {
+	mgr.good.Step(v)
+	nPO := mgr.c.NumOutputs()
+	goodVals := make([]logic.Value, nPO)
+	for po := 0; po < nPO; po++ {
+		goodVals[po] = mgr.good.OutputSlot(po, 0)
+	}
+	for _, b := range mgr.batches {
+		if b.alive == 0 {
+			continue
+		}
+		b.m.Step(v)
+		var det uint64
+		for po := 0; po < nPO; po++ {
+			if !goodVals[po].IsBinary() {
+				continue
+			}
+			gz, gd := valuePlanes(goodVals[po])
+			fz, fd := b.m.OutputPlanes(po)
+			det |= sim.DetectMask(gz, gd, fz, fd)
+		}
+		det &= b.alive
+		if det != 0 {
+			b.alive &^= det
+			for k := 0; k < b.n; k++ {
+				if det&(uint64(1)<<uint(k)) != 0 {
+					mgr.detAt[b.start+k] = mgr.now
+				}
+			}
+		}
+	}
+	mgr.now++
+}

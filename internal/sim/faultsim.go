@@ -1,0 +1,183 @@
+package sim
+
+import (
+	"repro/internal/fault"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+// NotDetected marks a fault with no detection in a Result.
+const NotDetected = -1
+
+// Result reports fault simulation of one sequence: for every fault, the
+// first cycle (vector index) at which a discrepancy was observed on a
+// primary output, or NotDetected.
+type Result struct {
+	DetectedAt []int
+}
+
+// NumDetected counts detected faults.
+func (r Result) NumDetected() int {
+	n := 0
+	for _, t := range r.DetectedAt {
+		if t != NotDetected {
+			n++
+		}
+	}
+	return n
+}
+
+// Detected reports whether fault i was detected.
+func (r Result) Detected(i int) bool { return r.DetectedAt[i] != NotDetected }
+
+// Options configures fault simulation.
+type Options struct {
+	// InitialState assigns the flip-flop starting values; nil means
+	// all X (the power-up-unknown model the paper uses).
+	InitialState []logic.Value
+}
+
+// Run fault-simulates seq against every fault in faults, using
+// parallel-fault simulation in batches of up to 64 faults. Detection is
+// strictly at primary outputs (which for a scan circuit include
+// scan_out): the faulty value must be binary and opposite to a binary
+// good value.
+//
+// The good machine and every fault batch advance in lockstep, one
+// vector at a time, and the whole run stops as soon as every fault is
+// detected — test compaction issues millions of these runs, and most
+// conclude long before the end of the sequence.
+func Run(c *netlist.Circuit, seq logic.Sequence, faults []fault.Fault, opts Options) Result {
+	res := Result{DetectedAt: make([]int, len(faults))}
+	for i := range res.DetectedAt {
+		res.DetectedAt[i] = NotDetected
+	}
+	if len(seq) == 0 || len(faults) == 0 {
+		return res
+	}
+
+	good := New(c)
+	if opts.InitialState != nil {
+		good.SetStateBroadcast(opts.InitialState)
+	}
+	type batchState struct {
+		m        *Machine
+		start    int
+		n        int
+		detected uint64
+		allMask  uint64
+	}
+	var batches []*batchState
+	for start := 0; start < len(faults); start += Slots {
+		end := start + Slots
+		if end > len(faults) {
+			end = len(faults)
+		}
+		b := &batchState{m: New(c), start: start, n: end - start}
+		if opts.InitialState != nil {
+			b.m.SetStateBroadcast(opts.InitialState)
+		}
+		for k, f := range faults[start:end] {
+			// Injection errors indicate a site inconsistent with
+			// the circuit; Universe never produces one.
+			if err := b.m.InjectFault(f, uint64(1)<<uint(k)); err != nil {
+				panic(err)
+			}
+		}
+		b.allMask = AllSlots
+		if b.n < Slots {
+			b.allMask = (uint64(1) << uint(b.n)) - 1
+		}
+		batches = append(batches, b)
+	}
+
+	nPO := c.NumOutputs()
+	remaining := len(batches)
+	goodVals := make([]logic.Value, nPO)
+	for t, v := range seq {
+		good.Step(v)
+		for po := 0; po < nPO; po++ {
+			goodVals[po] = good.OutputSlot(po, 0)
+		}
+		for _, b := range batches {
+			if b.detected == b.allMask {
+				continue
+			}
+			b.m.Step(v)
+			for po := 0; po < nPO; po++ {
+				if !goodVals[po].IsBinary() {
+					continue
+				}
+				gz, gd := broadcast(goodVals[po])
+				fz, fd := b.m.OutputPlanes(po)
+				newly := DetectMask(gz, gd, fz, fd) &^ b.detected & b.allMask
+				if newly == 0 {
+					continue
+				}
+				b.detected |= newly
+				for k := 0; k < b.n; k++ {
+					if newly&(uint64(1)<<uint(k)) != 0 {
+						res.DetectedAt[b.start+k] = t
+					}
+				}
+				if b.detected == b.allMask {
+					remaining--
+				}
+			}
+		}
+		if remaining == 0 {
+			break
+		}
+	}
+	return res
+}
+
+// RunSubset is Run restricted to the fault indices in subset; the
+// returned map gives detection cycles for the subset only.
+func RunSubset(c *netlist.Circuit, seq logic.Sequence, faults []fault.Fault, subset []int, opts Options) map[int]int {
+	sub := make([]fault.Fault, len(subset))
+	for i, fi := range subset {
+		sub[i] = faults[fi]
+	}
+	r := Run(c, seq, sub, opts)
+	out := make(map[int]int, len(subset))
+	for i, fi := range subset {
+		out[fi] = r.DetectedAt[i]
+	}
+	return out
+}
+
+// GoodTrace simulates seq fault-free and returns the flip-flop state
+// after each vector (states[t] is the state reached after applying
+// seq[t]) and the primary output values observed at each vector.
+func GoodTrace(c *netlist.Circuit, seq logic.Sequence, initial []logic.Value) (states [][]logic.Value, outputs [][]logic.Value) {
+	m := New(c)
+	if initial != nil {
+		m.SetStateBroadcast(initial)
+	}
+	states = make([][]logic.Value, len(seq))
+	outputs = make([][]logic.Value, len(seq))
+	for t, v := range seq {
+		m.Step(v)
+		states[t] = m.StateSlot(0)
+		row := make([]logic.Value, c.NumOutputs())
+		for po := range row {
+			row[po] = m.OutputSlot(po, 0)
+		}
+		outputs[t] = row
+	}
+	return states, outputs
+}
+
+// FinalState simulates seq fault-free and returns the reached state
+// (all X if seq is empty and initial is nil).
+func FinalState(c *netlist.Circuit, seq logic.Sequence, initial []logic.Value) []logic.Value {
+	m := New(c)
+	if initial != nil {
+		m.SetStateBroadcast(initial)
+	}
+	for _, v := range seq {
+		m.Step(v)
+	}
+	return m.StateSlot(0)
+}

@@ -1,0 +1,519 @@
+// Package sim implements three-valued (0/1/X) simulation of synchronous
+// sequential circuits, bit-parallel over 64 slots, with stuck-at fault
+// injection at stem and branch sites. It is the substrate for good-value
+// simulation, fault simulation, test generation and test compaction.
+//
+// Encoding: each signal carries two 64-bit planes (zero, one). Bit k of
+// zero means "in slot k the signal can be 0"; bit k of one means "can be
+// 1". A slot with both bits set holds X; a slot with neither is invalid
+// and never produced.
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/fault"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+// Slots is the simulation width: the number of independent slots a
+// Machine evaluates in parallel.
+const Slots = 64
+
+// AllSlots is a mask with every slot bit set.
+const AllSlots = ^uint64(0)
+
+// Machine simulates one circuit. It holds per-signal value planes, the
+// flip-flop state, and the currently injected faults. A Machine is not
+// safe for concurrent use; create one per goroutine.
+type Machine struct {
+	c *netlist.Circuit
+
+	zero, one []uint64 // per signal, valid after a Step
+	sz, so    []uint64 // per flip-flop: current state planes
+
+	stemSA0, stemSA1 []uint64 // per signal
+	pinSA0, pinSA1   []uint64 // per gate-input global pin
+	ffSA0, ffSA1     []uint64 // per flip-flop D pin
+
+	pinBase   []int32 // per gate: index of its pin 0 in pinSA0/pinSA1
+	hasFaults bool
+	injected  []fault.Fault
+
+	// Transition (gross-delay) faults: slow-to-rise delays rising
+	// transitions by one cycle (site value = AND of current and
+	// previous driving value), slow-to-fall delays falling ones (OR).
+	trans    []transSite
+	transAt  []int32 // per signal: index into trans, or -1
+	hasTrans bool
+}
+
+type transSite struct {
+	sig          netlist.SignalID
+	slowToRise   bool
+	mask         uint64
+	prevZ, prevO uint64
+	next         int32 // next site on the same signal, or -1
+}
+
+// New returns a Machine for circuit c with all flip-flops at X and no
+// faults injected.
+func New(c *netlist.Circuit) *Machine {
+	nPins := 0
+	pinBase := make([]int32, len(c.Gates))
+	for gi, g := range c.Gates {
+		pinBase[gi] = int32(nPins)
+		nPins += len(g.In)
+	}
+	m := &Machine{
+		c:       c,
+		zero:    make([]uint64, len(c.Signals)),
+		one:     make([]uint64, len(c.Signals)),
+		sz:      make([]uint64, len(c.FFs)),
+		so:      make([]uint64, len(c.FFs)),
+		stemSA0: make([]uint64, len(c.Signals)),
+		stemSA1: make([]uint64, len(c.Signals)),
+		pinSA0:  make([]uint64, nPins),
+		pinSA1:  make([]uint64, nPins),
+		ffSA0:   make([]uint64, len(c.FFs)),
+		ffSA1:   make([]uint64, len(c.FFs)),
+		pinBase: pinBase,
+	}
+	m.Reset()
+	return m
+}
+
+// Circuit returns the circuit being simulated.
+func (m *Machine) Circuit() *netlist.Circuit { return m.c }
+
+// Reset sets every flip-flop to X in every slot and forgets transition
+// fault history. Injected faults are kept.
+func (m *Machine) Reset() {
+	for i := range m.sz {
+		m.sz[i] = AllSlots
+		m.so[i] = AllSlots
+	}
+	for i := range m.trans {
+		m.trans[i].prevZ = AllSlots
+		m.trans[i].prevO = AllSlots
+	}
+}
+
+// InjectFault adds stuck-at fault f to the slots selected by mask. The
+// same Machine can carry many faults at once (one per slot is the usual
+// arrangement for parallel-fault simulation).
+func (m *Machine) InjectFault(f fault.Fault, mask uint64) error {
+	var sa0, sa1 *uint64
+	site := f.Site
+	switch {
+	case site.IsStem():
+		sa0, sa1 = &m.stemSA0[site.Signal], &m.stemSA1[site.Signal]
+	case site.FF >= 0:
+		sa0, sa1 = &m.ffSA0[site.FF], &m.ffSA1[site.FF]
+	default:
+		g := m.c.Gates[site.Gate]
+		if site.Pin < 0 || int(site.Pin) >= len(g.In) {
+			return fmt.Errorf("sim: fault pin %d out of range for gate %s", site.Pin, m.c.SignalName(g.Out))
+		}
+		if g.In[site.Pin] != site.Signal {
+			return fmt.Errorf("sim: fault site signal mismatch on gate %s pin %d", m.c.SignalName(g.Out), site.Pin)
+		}
+		idx := m.pinBase[site.Gate] + site.Pin
+		sa0, sa1 = &m.pinSA0[idx], &m.pinSA1[idx]
+	}
+	switch f.SA {
+	case logic.Zero:
+		*sa0 |= mask
+	case logic.One:
+		*sa1 |= mask
+	default:
+		return fmt.Errorf("sim: stuck-at value must be 0 or 1")
+	}
+	m.hasFaults = true
+	m.injected = append(m.injected, f)
+	return nil
+}
+
+// InjectTransitionFault adds a gross-delay transition fault on the stem
+// of signal sig to the slots selected by mask: slow-to-rise when
+// slowToRise, slow-to-fall otherwise. At most one transition fault per
+// signal may be injected at a time (different slots of the same signal
+// must share the polarity).
+func (m *Machine) InjectTransitionFault(sig netlist.SignalID, slowToRise bool, mask uint64) error {
+	if m.transAt == nil {
+		m.transAt = make([]int32, len(m.c.Signals))
+		for i := range m.transAt {
+			m.transAt[i] = -1
+		}
+	}
+	for ti := m.transAt[sig]; ti >= 0; ti = m.trans[ti].next {
+		t := &m.trans[ti]
+		if t.slowToRise == slowToRise {
+			t.mask |= mask
+			m.hasFaults = true
+			m.hasTrans = true
+			return nil
+		}
+	}
+	// New site; chain it in front of any existing ones on this signal
+	// (slots are disjoint, so application order does not matter).
+	idx := int32(len(m.trans))
+	m.trans = append(m.trans, transSite{
+		sig:        sig,
+		slowToRise: slowToRise,
+		mask:       mask,
+		prevZ:      AllSlots, // unknown history: previous value X
+		prevO:      AllSlots,
+		next:       m.transAt[sig],
+	})
+	m.transAt[sig] = idx
+	m.hasFaults = true
+	m.hasTrans = true
+	return nil
+}
+
+// applyTrans applies a transition site's delay function to freshly
+// computed stem planes and records them as the next cycle's history.
+func (m *Machine) applyTrans(ti int32, z, o uint64) (uint64, uint64) {
+	t := &m.trans[ti]
+	var nz, no uint64
+	if t.slowToRise {
+		// Value = AND(current, previous): rising edges arrive late.
+		nz = z | t.prevZ
+		no = o & t.prevO
+	} else {
+		// Value = OR(current, previous): falling edges arrive late.
+		nz = z & t.prevZ
+		no = o | t.prevO
+	}
+	t.prevZ, t.prevO = z, o
+	z = (z &^ t.mask) | (nz & t.mask)
+	o = (o &^ t.mask) | (no & t.mask)
+	return z, o
+}
+
+// maybeTrans applies the signal's transition sites, if any. Multiple
+// sites on one signal occupy disjoint slot masks, so the application
+// order is irrelevant.
+func (m *Machine) maybeTrans(sig netlist.SignalID, z, o uint64) (uint64, uint64) {
+	if !m.hasTrans {
+		return z, o
+	}
+	for ti := m.transAt[sig]; ti >= 0; ti = m.trans[ti].next {
+		z, o = m.applyTrans(ti, z, o)
+	}
+	return z, o
+}
+
+// ClearFaults removes every injected fault, including transition
+// faults.
+func (m *Machine) ClearFaults() {
+	if m.hasTrans {
+		for _, t := range m.trans {
+			m.transAt[t.sig] = -1
+		}
+		m.trans = m.trans[:0]
+		m.hasTrans = false
+	}
+	if !m.hasFaults {
+		return
+	}
+	for _, f := range m.injected {
+		site := f.Site
+		switch {
+		case site.IsStem():
+			m.stemSA0[site.Signal] = 0
+			m.stemSA1[site.Signal] = 0
+		case site.FF >= 0:
+			m.ffSA0[site.FF] = 0
+			m.ffSA1[site.FF] = 0
+		default:
+			idx := m.pinBase[site.Gate] + site.Pin
+			m.pinSA0[idx] = 0
+			m.pinSA1[idx] = 0
+		}
+	}
+	m.injected = m.injected[:0]
+	m.hasFaults = false
+}
+
+// State is a snapshot of the flip-flop planes, used to save and restore
+// the machine around trial simulation.
+type State struct{ sz, so []uint64 }
+
+// SaveState returns a copy of the current flip-flop state.
+func (m *Machine) SaveState() State {
+	s := State{sz: make([]uint64, len(m.sz)), so: make([]uint64, len(m.so))}
+	copy(s.sz, m.sz)
+	copy(s.so, m.so)
+	return s
+}
+
+// RestoreState restores a snapshot taken with SaveState.
+func (m *Machine) RestoreState(s State) {
+	copy(m.sz, s.sz)
+	copy(m.so, s.so)
+}
+
+// SetStateBroadcast sets every slot's state to vals (one value per
+// flip-flop).
+func (m *Machine) SetStateBroadcast(vals []logic.Value) {
+	for i, v := range vals {
+		m.sz[i], m.so[i] = broadcast(v)
+	}
+}
+
+// SetStatePair sets slot 0 of every flip-flop to good[i] and every
+// other slot to faulty[i]. Used when simulating a fault whose history
+// has already diverged from the fault-free circuit (slot 0 fault-free,
+// remaining slots faulty).
+func (m *Machine) SetStatePair(good, faulty []logic.Value) {
+	for i := range m.sz {
+		gz, gd := broadcast(good[i])
+		fz, fd := broadcast(faulty[i])
+		m.sz[i] = (gz & 1) | (fz &^ 1)
+		m.so[i] = (gd & 1) | (fd &^ 1)
+	}
+}
+
+// StateSlot extracts the state of one slot as logic values.
+func (m *Machine) StateSlot(slot int) []logic.Value {
+	bit := uint64(1) << uint(slot)
+	out := make([]logic.Value, len(m.sz))
+	for i := range m.sz {
+		out[i] = planesValue(m.sz[i], m.so[i], bit)
+	}
+	return out
+}
+
+// FFPlanes returns the state planes of flip-flop fi.
+func (m *Machine) FFPlanes(fi int) (zero, one uint64) { return m.sz[fi], m.so[fi] }
+
+// OutputPlanes returns the planes of primary output po after the last
+// Step.
+func (m *Machine) OutputPlanes(po int) (zero, one uint64) {
+	s := m.c.Outputs[po]
+	return m.zero[s], m.one[s]
+}
+
+// OutputSlot returns the value of primary output po in one slot.
+func (m *Machine) OutputSlot(po, slot int) logic.Value {
+	z, o := m.OutputPlanes(po)
+	return planesValue(z, o, uint64(1)<<uint(slot))
+}
+
+// SignalPlanes returns the planes of an arbitrary signal after the last
+// Step (combinational values; flip-flop outputs show the state that was
+// current during that step).
+func (m *Machine) SignalPlanes(s netlist.SignalID) (zero, one uint64) {
+	return m.zero[s], m.one[s]
+}
+
+// Step applies vector v to the primary inputs of every slot and clocks
+// the circuit once: combinational evaluation followed by the state
+// update. Primary output planes remain readable until the next Step.
+func (m *Machine) Step(v logic.Vector) {
+	for i, in := range m.c.Inputs {
+		val := logic.X
+		if i < len(v) {
+			val = v[i]
+		}
+		m.zero[in], m.one[in] = broadcast(val)
+	}
+	m.finishStep()
+}
+
+// StepMulti applies vecs[k] to slot k (slots beyond len(vecs) receive
+// vecs[len-1]) and clocks the circuit once.
+func (m *Machine) StepMulti(vecs []logic.Vector) {
+	if len(vecs) == 0 {
+		panic("sim: StepMulti with no vectors")
+	}
+	for i, in := range m.c.Inputs {
+		var z, o uint64
+		for k := 0; k < Slots; k++ {
+			vec := vecs[len(vecs)-1]
+			if k < len(vecs) {
+				vec = vecs[k]
+			}
+			val := logic.X
+			if i < len(vec) {
+				val = vec[i]
+			}
+			bit := uint64(1) << uint(k)
+			switch val {
+			case logic.Zero:
+				z |= bit
+			case logic.One:
+				o |= bit
+			default:
+				z |= bit
+				o |= bit
+			}
+		}
+		m.zero[in], m.one[in] = z, o
+	}
+	m.finishStep()
+}
+
+func (m *Machine) finishStep() {
+	c := m.c
+	if m.hasFaults {
+		// Stem injection on primary inputs.
+		for _, in := range c.Inputs {
+			z, o := applyInj(m.zero[in], m.one[in], m.stemSA0[in], m.stemSA1[in])
+			m.zero[in], m.one[in] = m.maybeTrans(in, z, o)
+		}
+		// Load flip-flop outputs with stem injection.
+		for fi, ff := range c.FFs {
+			z, o := applyInj(m.sz[fi], m.so[fi], m.stemSA0[ff.Q], m.stemSA1[ff.Q])
+			m.zero[ff.Q], m.one[ff.Q] = m.maybeTrans(ff.Q, z, o)
+		}
+		m.evalFaulty()
+		// Latch next state with D-pin injection.
+		for fi, ff := range c.FFs {
+			m.sz[fi], m.so[fi] = applyInj(m.zero[ff.D], m.one[ff.D], m.ffSA0[fi], m.ffSA1[fi])
+		}
+		return
+	}
+	for fi, ff := range c.FFs {
+		m.zero[ff.Q], m.one[ff.Q] = m.sz[fi], m.so[fi]
+	}
+	m.evalClean()
+	for fi, ff := range c.FFs {
+		m.sz[fi], m.so[fi] = m.zero[ff.D], m.one[ff.D]
+	}
+}
+
+// evalClean evaluates every gate with no fault masks (fast path).
+func (m *Machine) evalClean() {
+	zero, one := m.zero, m.one
+	for _, gi := range m.c.Order {
+		g := &m.c.Gates[gi]
+		in0 := g.In[0]
+		z, o := zero[in0], one[in0]
+		switch g.Type {
+		case netlist.BUF:
+		case netlist.NOT:
+			z, o = o, z
+		case netlist.AND, netlist.NAND:
+			for _, in := range g.In[1:] {
+				z |= zero[in]
+				o &= one[in]
+			}
+			if g.Type == netlist.NAND {
+				z, o = o, z
+			}
+		case netlist.OR, netlist.NOR:
+			for _, in := range g.In[1:] {
+				o |= one[in]
+				z &= zero[in]
+			}
+			if g.Type == netlist.NOR {
+				z, o = o, z
+			}
+		case netlist.XOR, netlist.XNOR:
+			for _, in := range g.In[1:] {
+				bz, bo := zero[in], one[in]
+				z, o = (z&bz)|(o&bo), (z&bo)|(o&bz)
+			}
+			if g.Type == netlist.XNOR {
+				z, o = o, z
+			}
+		}
+		zero[g.Out], one[g.Out] = z, o
+	}
+}
+
+// evalFaulty evaluates every gate applying branch-pin and stem fault
+// masks.
+func (m *Machine) evalFaulty() {
+	zero, one := m.zero, m.one
+	for _, gi := range m.c.Order {
+		g := &m.c.Gates[gi]
+		base := m.pinBase[gi]
+		z, o := m.readPin(g.In[0], base)
+		switch g.Type {
+		case netlist.BUF:
+		case netlist.NOT:
+			z, o = o, z
+		case netlist.AND, netlist.NAND:
+			for p := 1; p < len(g.In); p++ {
+				bz, bo := m.readPin(g.In[p], base+int32(p))
+				z |= bz
+				o &= bo
+			}
+			if g.Type == netlist.NAND {
+				z, o = o, z
+			}
+		case netlist.OR, netlist.NOR:
+			for p := 1; p < len(g.In); p++ {
+				bz, bo := m.readPin(g.In[p], base+int32(p))
+				o |= bo
+				z &= bz
+			}
+			if g.Type == netlist.NOR {
+				z, o = o, z
+			}
+		case netlist.XOR, netlist.XNOR:
+			for p := 1; p < len(g.In); p++ {
+				bz, bo := m.readPin(g.In[p], base+int32(p))
+				z, o = (z&bz)|(o&bo), (z&bo)|(o&bz)
+			}
+			if g.Type == netlist.XNOR {
+				z, o = o, z
+			}
+		}
+		z, o = applyInj(z, o, m.stemSA0[g.Out], m.stemSA1[g.Out])
+		z, o = m.maybeTrans(g.Out, z, o)
+		zero[g.Out], one[g.Out] = z, o
+	}
+}
+
+func (m *Machine) readPin(s netlist.SignalID, pin int32) (z, o uint64) {
+	return applyInj(m.zero[s], m.one[s], m.pinSA0[pin], m.pinSA1[pin])
+}
+
+// applyInj forces slots selected by sa0 to 0 and slots selected by sa1
+// to 1.
+func applyInj(z, o, sa0, sa1 uint64) (uint64, uint64) {
+	z = (z &^ sa1) | sa0
+	o = (o &^ sa0) | sa1
+	return z, o
+}
+
+// broadcast expands one logic value into full planes.
+func broadcast(v logic.Value) (z, o uint64) {
+	switch v {
+	case logic.Zero:
+		return AllSlots, 0
+	case logic.One:
+		return 0, AllSlots
+	default:
+		return AllSlots, AllSlots
+	}
+}
+
+// planesValue extracts the value of one slot bit from planes.
+func planesValue(z, o, bit uint64) logic.Value {
+	switch {
+	case z&bit != 0 && o&bit != 0:
+		return logic.X
+	case o&bit != 0:
+		return logic.One
+	default:
+		return logic.Zero
+	}
+}
+
+// DetectMask returns, per slot, whether the faulty planes (fz, fo)
+// definitely differ from the good planes (gz, go): both values binary
+// and opposite.
+func DetectMask(gz, gd, fz, fd uint64) uint64 {
+	goodIs0 := gz &^ gd
+	goodIs1 := gd &^ gz
+	faultIs0 := fz &^ fd
+	faultIs1 := fd &^ fz
+	return (goodIs0 & faultIs1) | (goodIs1 & faultIs0)
+}

@@ -1,0 +1,124 @@
+package sim
+
+// Scalar reference simulator used only in tests: a slow, obviously
+// correct three-valued evaluator the bit-parallel Machine is checked
+// against (differential testing), including stuck-at fault injection.
+
+import (
+	"repro/internal/fault"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+type refSim struct {
+	c     *netlist.Circuit
+	state []logic.Value
+	vals  []logic.Value
+	flt   *fault.Fault
+}
+
+func newRefSim(c *netlist.Circuit, flt *fault.Fault) *refSim {
+	r := &refSim{
+		c:     c,
+		state: make([]logic.Value, c.NumFFs()),
+		vals:  make([]logic.Value, len(c.Signals)),
+	}
+	for i := range r.state {
+		r.state[i] = logic.X
+	}
+	r.flt = flt
+	return r
+}
+
+func (r *refSim) stemInject(s netlist.SignalID, v logic.Value) logic.Value {
+	if r.flt != nil && r.flt.Site.IsStem() && r.flt.Site.Signal == s {
+		return r.flt.SA
+	}
+	return v
+}
+
+func (r *refSim) pinInject(gi int32, pin int, v logic.Value) logic.Value {
+	if r.flt != nil && r.flt.Site.Gate == gi && int(r.flt.Site.Pin) == pin {
+		return r.flt.SA
+	}
+	return v
+}
+
+func (r *refSim) ffInject(fi int, v logic.Value) logic.Value {
+	if r.flt != nil && r.flt.Site.FF == int32(fi) {
+		return r.flt.SA
+	}
+	return v
+}
+
+// step applies vector v, returns primary output values, and advances the
+// state.
+func (r *refSim) step(v logic.Vector) []logic.Value {
+	c := r.c
+	for i, in := range c.Inputs {
+		val := logic.X
+		if i < len(v) {
+			val = v[i]
+		}
+		r.vals[in] = r.stemInject(in, val)
+	}
+	for fi, ff := range c.FFs {
+		r.vals[ff.Q] = r.stemInject(ff.Q, r.state[fi])
+	}
+	for _, gi := range c.Order {
+		g := c.Gates[gi]
+		acc := r.pinInject(gi, 0, r.vals[g.In[0]])
+		switch g.Type {
+		case netlist.BUF:
+		case netlist.NOT:
+			acc = acc.Not()
+		case netlist.AND, netlist.NAND:
+			for p := 1; p < len(g.In); p++ {
+				acc = logic.And(acc, r.pinInject(gi, p, r.vals[g.In[p]]))
+			}
+			if g.Type == netlist.NAND {
+				acc = acc.Not()
+			}
+		case netlist.OR, netlist.NOR:
+			for p := 1; p < len(g.In); p++ {
+				acc = logic.Or(acc, r.pinInject(gi, p, r.vals[g.In[p]]))
+			}
+			if g.Type == netlist.NOR {
+				acc = acc.Not()
+			}
+		case netlist.XOR, netlist.XNOR:
+			for p := 1; p < len(g.In); p++ {
+				acc = logic.Xor(acc, r.pinInject(gi, p, r.vals[g.In[p]]))
+			}
+			if g.Type == netlist.XNOR {
+				acc = acc.Not()
+			}
+		}
+		r.vals[g.Out] = r.stemInject(g.Out, acc)
+	}
+	outs := make([]logic.Value, c.NumOutputs())
+	for i, o := range c.Outputs {
+		outs[i] = r.vals[o]
+	}
+	for fi, ff := range c.FFs {
+		r.state[fi] = r.ffInject(fi, r.vals[ff.D])
+	}
+	return outs
+}
+
+// run simulates a whole sequence and returns the first detection time
+// against the good reference, or NotDetected.
+func refDetect(c *netlist.Circuit, seq logic.Sequence, f fault.Fault) int {
+	good := newRefSim(c, nil)
+	bad := newRefSim(c, &f)
+	for t, v := range seq {
+		g := good.step(v)
+		b := bad.step(v)
+		for po := range g {
+			if g[po].IsBinary() && b[po].IsBinary() && g[po] != b[po] {
+				return t
+			}
+		}
+	}
+	return NotDetected
+}

@@ -1,0 +1,84 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/circuits"
+	"repro/internal/fault"
+	"repro/internal/logic"
+)
+
+func benchSetup(b *testing.B, name string) (*Machine, logic.Vector) {
+	b.Helper()
+	c, err := circuits.Load(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := New(c)
+	rng := logic.NewRandFiller(1)
+	v := make(logic.Vector, c.NumInputs())
+	for i := range v {
+		v[i] = rng.Next()
+	}
+	return m, v
+}
+
+// BenchmarkStepClean measures one fault-free bit-parallel simulation
+// step (64 slots per step).
+func BenchmarkStepClean(b *testing.B) {
+	for _, name := range []string{"s27", "s953", "s5378"} {
+		b.Run(name, func(b *testing.B) {
+			m, v := benchSetup(b, name)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.Step(v)
+			}
+			b.ReportMetric(float64(m.Circuit().NumGates()), "gates")
+		})
+	}
+}
+
+// BenchmarkStepFaulty measures one step with a full 64-fault batch
+// injected.
+func BenchmarkStepFaulty(b *testing.B) {
+	for _, name := range []string{"s27", "s953", "s5378"} {
+		b.Run(name, func(b *testing.B) {
+			m, v := benchSetup(b, name)
+			faults := fault.Universe(m.Circuit(), true)
+			for k := 0; k < Slots && k < len(faults); k++ {
+				if err := m.InjectFault(faults[k], uint64(1)<<uint(k)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.Step(v)
+			}
+		})
+	}
+}
+
+// BenchmarkRun measures whole-sequence fault simulation with batching
+// and early exit.
+func BenchmarkRun(b *testing.B) {
+	c, err := circuits.Load("s298")
+	if err != nil {
+		b.Fatal(err)
+	}
+	faults := fault.Universe(c, true)
+	rng := logic.NewRandFiller(7)
+	seq := make(logic.Sequence, 200)
+	for i := range seq {
+		v := make(logic.Vector, c.NumInputs())
+		for j := range v {
+			v[j] = rng.Next()
+		}
+		seq[i] = v
+	}
+	b.ResetTimer()
+	var det int
+	for i := 0; i < b.N; i++ {
+		det = Run(c, seq, faults, Options{}).NumDetected()
+	}
+	b.ReportMetric(float64(det), "detected")
+}

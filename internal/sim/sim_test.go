@@ -1,0 +1,416 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bench"
+	"repro/internal/circuits"
+	"repro/internal/fault"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+func mustParse(t *testing.T, text string) *netlist.Circuit {
+	t.Helper()
+	c, err := bench.ParseString(text, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// oneGate builds a circuit with one two-input gate of the given type.
+func oneGate(t *testing.T, gt netlist.GateType) *netlist.Circuit {
+	t.Helper()
+	b := netlist.NewBuilder("g")
+	b.AddInput("a")
+	b.AddInput("b")
+	b.AddGate(gt, "y", "a", "b")
+	b.MarkOutput("y")
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// refGate computes the scalar three-valued gate function.
+func refGate(gt netlist.GateType, a, b logic.Value) logic.Value {
+	switch gt {
+	case netlist.AND:
+		return logic.And(a, b)
+	case netlist.NAND:
+		return logic.And(a, b).Not()
+	case netlist.OR:
+		return logic.Or(a, b)
+	case netlist.NOR:
+		return logic.Or(a, b).Not()
+	case netlist.XOR:
+		return logic.Xor(a, b)
+	case netlist.XNOR:
+		return logic.Xor(a, b).Not()
+	}
+	panic("bad gate")
+}
+
+func TestGateTruthTables(t *testing.T) {
+	vals := []logic.Value{logic.Zero, logic.One, logic.X}
+	types := []netlist.GateType{netlist.AND, netlist.NAND, netlist.OR, netlist.NOR, netlist.XOR, netlist.XNOR}
+	for _, gt := range types {
+		c := oneGate(t, gt)
+		m := New(c)
+		for _, a := range vals {
+			for _, b := range vals {
+				m.Step(logic.Vector{a, b})
+				got := m.OutputSlot(0, 0)
+				want := refGate(gt, a, b)
+				if got != want {
+					t.Errorf("%v(%v,%v) = %v, want %v", gt, a, b, got, want)
+				}
+				// All slots must agree under broadcast.
+				if got63 := m.OutputSlot(0, 63); got63 != want {
+					t.Errorf("%v slot63 = %v, want %v", gt, got63, want)
+				}
+			}
+		}
+	}
+}
+
+func TestNotBufGates(t *testing.T) {
+	b := netlist.NewBuilder("nb")
+	b.AddInput("a")
+	b.AddGate(netlist.NOT, "n", "a")
+	b.AddGate(netlist.BUF, "f", "a")
+	b.MarkOutput("n")
+	b.MarkOutput("f")
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(c)
+	for _, a := range []logic.Value{logic.Zero, logic.One, logic.X} {
+		m.Step(logic.Vector{a})
+		if m.OutputSlot(0, 0) != a.Not() {
+			t.Errorf("NOT(%v) = %v", a, m.OutputSlot(0, 0))
+		}
+		if m.OutputSlot(1, 0) != a {
+			t.Errorf("BUF(%v) = %v", a, m.OutputSlot(1, 0))
+		}
+	}
+}
+
+func TestSequentialToggle(t *testing.T) {
+	c := mustParse(t, `
+INPUT(en)
+OUTPUT(q)
+q = DFF(d)
+d = XOR(en, q)
+`)
+	m := New(c)
+	// Unknown initial state: q stays X while toggling.
+	m.Step(logic.Vector{logic.One})
+	if got := m.OutputSlot(0, 0); got != logic.X {
+		t.Fatalf("unknown state toggled to %v", got)
+	}
+	// Force the state to 0 by construction: en=X cannot reset; use
+	// SetStateBroadcast to model a known reset.
+	m.SetStateBroadcast([]logic.Value{logic.Zero})
+	expect := []logic.Value{logic.Zero, logic.One, logic.Zero, logic.One}
+	for i, want := range expect {
+		m.Step(logic.Vector{logic.One})
+		if got := m.OutputSlot(0, 0); got != want {
+			t.Fatalf("cycle %d: q = %v, want %v", i, got, want)
+		}
+	}
+	// After the toggles above the state is 0; en=0 holds it.
+	m.Step(logic.Vector{logic.Zero})
+	m.Step(logic.Vector{logic.Zero})
+	if got := m.OutputSlot(0, 0); got != logic.Zero {
+		t.Fatalf("hold failed: q = %v", got)
+	}
+}
+
+func TestStepMultiPerSlotVectors(t *testing.T) {
+	c := oneGate(t, netlist.AND)
+	m := New(c)
+	vecs := []logic.Vector{
+		{logic.Zero, logic.Zero},
+		{logic.Zero, logic.One},
+		{logic.One, logic.Zero},
+		{logic.One, logic.One},
+	}
+	m.StepMulti(vecs)
+	want := []logic.Value{logic.Zero, logic.Zero, logic.Zero, logic.One}
+	for k, w := range want {
+		if got := m.OutputSlot(0, k); got != w {
+			t.Errorf("slot %d = %v, want %v", k, got, w)
+		}
+	}
+	// Slots beyond the provided vectors replicate the last vector.
+	if got := m.OutputSlot(0, 60); got != logic.One {
+		t.Errorf("slot 60 = %v, want replication of last vector", got)
+	}
+}
+
+func TestFaultInjectionStem(t *testing.T) {
+	c := oneGate(t, netlist.AND)
+	m := New(c)
+	y, _ := c.SignalByName("y")
+	f := fault.Fault{Site: fault.Site{Signal: y, Gate: -1, Pin: -1, FF: -1}, SA: logic.One}
+	if err := m.InjectFault(f, 1<<5); err != nil {
+		t.Fatal(err)
+	}
+	m.Step(logic.Vector{logic.Zero, logic.Zero})
+	if got := m.OutputSlot(0, 0); got != logic.Zero {
+		t.Errorf("clean slot = %v, want 0", got)
+	}
+	if got := m.OutputSlot(0, 5); got != logic.One {
+		t.Errorf("faulty slot = %v, want 1 (stuck-at-1)", got)
+	}
+	m.ClearFaults()
+	m.Step(logic.Vector{logic.Zero, logic.Zero})
+	if got := m.OutputSlot(0, 5); got != logic.Zero {
+		t.Errorf("after ClearFaults slot = %v, want 0", got)
+	}
+}
+
+func TestFaultInjectionBranchPin(t *testing.T) {
+	// a fans out to NOT and AND; a SA1 on the AND pin only must leave
+	// the NOT path clean.
+	c := mustParse(t, `
+INPUT(a)
+OUTPUT(n)
+OUTPUT(y)
+n = NOT(a)
+y = AND(a, a2)
+INPUT(a2)
+`)
+	a, _ := c.SignalByName("a")
+	var gi int32 = -1
+	var pin int32
+	for i, g := range c.Gates {
+		if g.Type == netlist.AND {
+			gi = int32(i)
+			for p, in := range g.In {
+				if in == a {
+					pin = int32(p)
+				}
+			}
+		}
+	}
+	m := New(c)
+	f := fault.Fault{Site: fault.Site{Signal: a, Gate: gi, Pin: pin, FF: -1}, SA: logic.One}
+	if err := m.InjectFault(f, 1); err != nil {
+		t.Fatal(err)
+	}
+	m.Step(logic.Vector{logic.Zero, logic.One})
+	if got := m.OutputSlot(0, 0); got != logic.One {
+		t.Errorf("NOT path disturbed: n = %v, want 1", got)
+	}
+	if got := m.OutputSlot(1, 0); got != logic.One {
+		t.Errorf("faulty AND = %v, want 1", got)
+	}
+}
+
+func TestFaultInjectionFFPin(t *testing.T) {
+	c := mustParse(t, `
+INPUT(a)
+OUTPUT(q)
+q = DFF(a)
+`)
+	// Hmm: DFF input is a primary input directly; D-pin fault site.
+	m := New(c)
+	f := fault.Fault{Site: fault.Site{Signal: c.FFs[0].D, Gate: -1, Pin: -1, FF: 0}, SA: logic.Zero}
+	if err := m.InjectFault(f, 1); err != nil {
+		t.Fatal(err)
+	}
+	m.Step(logic.Vector{logic.One})
+	m.Step(logic.Vector{logic.One})
+	if got := m.OutputSlot(0, 0); got != logic.Zero {
+		t.Errorf("FF D-pin SA0: q = %v, want 0", got)
+	}
+}
+
+func TestSaveRestoreState(t *testing.T) {
+	c := mustParse(t, `
+INPUT(en)
+OUTPUT(q)
+q = DFF(d)
+d = XOR(en, q)
+`)
+	m := New(c)
+	m.SetStateBroadcast([]logic.Value{logic.Zero})
+	snap := m.SaveState()
+	m.Step(logic.Vector{logic.One})
+	m.Step(logic.Vector{logic.One})
+	m.RestoreState(snap)
+	m.Step(logic.Vector{logic.Zero})
+	if got := m.OutputSlot(0, 0); got != logic.Zero {
+		t.Errorf("restored state wrong: q = %v", got)
+	}
+}
+
+func TestDetectMask(t *testing.T) {
+	g0z, g0o := broadcast(logic.Zero)
+	if DetectMask(g0z, g0o, 0, AllSlots) != AllSlots {
+		t.Error("good 0 vs faulty 1 not detected")
+	}
+	// Faulty X must not be a detection.
+	if DetectMask(g0z, g0o, AllSlots, AllSlots) != 0 {
+		t.Error("good 0 vs faulty X falsely detected")
+	}
+	g1z, g1o := broadcast(logic.One)
+	if DetectMask(g1z, g1o, AllSlots, 0) != AllSlots {
+		t.Error("good 1 vs faulty 0 not detected")
+	}
+	if DetectMask(g1z, g1o, 0, AllSlots) != 0 {
+		t.Error("equal values falsely detected")
+	}
+}
+
+func TestRunDetectsInverterFault(t *testing.T) {
+	c := mustParse(t, `
+INPUT(a)
+OUTPUT(y)
+y = NOT(a)
+`)
+	y, _ := c.SignalByName("y")
+	faults := []fault.Fault{
+		{Site: fault.Site{Signal: y, Gate: -1, Pin: -1, FF: -1}, SA: logic.Zero},
+		{Site: fault.Site{Signal: y, Gate: -1, Pin: -1, FF: -1}, SA: logic.One},
+	}
+	seq := logic.Sequence{{logic.Zero}, {logic.One}}
+	res := Run(c, seq, faults, Options{})
+	// a=0 -> y=1: SA0 detected at t=0. a=1 -> y=0: SA1 detected at t=1.
+	if res.DetectedAt[0] != 0 || res.DetectedAt[1] != 1 {
+		t.Fatalf("detections = %v", res.DetectedAt)
+	}
+	if res.NumDetected() != 2 {
+		t.Error("NumDetected wrong")
+	}
+}
+
+// TestDifferentialAgainstReference cross-checks parallel-fault Run
+// against the scalar reference simulator on the real s27 circuit with
+// random sequences: detection-or-not must agree for every fault, and the
+// detection time must match exactly (both record first detection).
+func TestDifferentialAgainstReference(t *testing.T) {
+	c, err := circuits.Load("s27")
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := fault.Universe(c, false)
+	rng := logic.NewRandFiller(12345)
+	for trial := 0; trial < 4; trial++ {
+		seq := make(logic.Sequence, 25)
+		for i := range seq {
+			v := logic.NewVector(c.NumInputs())
+			for j := range v {
+				if rng.Intn(10) == 0 {
+					v[j] = logic.X
+				} else {
+					v[j] = rng.Next()
+				}
+			}
+			seq[i] = v
+		}
+		res := Run(c, seq, faults, Options{})
+		for fi, f := range faults {
+			want := refDetect(c, seq, f)
+			if got := res.DetectedAt[fi]; got != want {
+				t.Fatalf("trial %d fault %s: Run=%d ref=%d", trial, f.Name(c), got, want)
+			}
+		}
+	}
+}
+
+func TestRunSubset(t *testing.T) {
+	c, _ := circuits.Load("s27")
+	faults := fault.Universe(c, false)
+	rng := logic.NewRandFiller(99)
+	seq := make(logic.Sequence, 30)
+	for i := range seq {
+		v := logic.NewVector(c.NumInputs())
+		for j := range v {
+			v[j] = rng.Next()
+		}
+		seq[i] = v
+	}
+	full := Run(c, seq, faults, Options{})
+	subset := []int{0, 3, 7, len(faults) - 1}
+	sub := RunSubset(c, seq, faults, subset, Options{})
+	for _, fi := range subset {
+		if sub[fi] != full.DetectedAt[fi] {
+			t.Errorf("fault %d: subset=%d full=%d", fi, sub[fi], full.DetectedAt[fi])
+		}
+	}
+}
+
+func TestGoodTraceAndFinalState(t *testing.T) {
+	c := mustParse(t, `
+INPUT(en)
+OUTPUT(q)
+q = DFF(d)
+d = XOR(en, q)
+`)
+	seq := logic.Sequence{{logic.One}, {logic.One}, {logic.Zero}}
+	init := []logic.Value{logic.Zero}
+	states, outputs := GoodTrace(c, seq, init)
+	if len(states) != 3 || len(outputs) != 3 {
+		t.Fatal("trace lengths wrong")
+	}
+	// After v0 (en=1): state flips to 1; output during v0 shows old 0.
+	if outputs[0][0] != logic.Zero || states[0][0] != logic.One {
+		t.Errorf("t0: out=%v state=%v", outputs[0][0], states[0][0])
+	}
+	if got := FinalState(c, seq, init); got[0] != states[2][0] {
+		t.Errorf("FinalState = %v, want %v", got[0], states[2][0])
+	}
+	// Empty sequence keeps the initial state.
+	if got := FinalState(c, nil, init); got[0] != logic.Zero {
+		t.Errorf("FinalState(empty) = %v", got[0])
+	}
+}
+
+func TestInjectFaultValidation(t *testing.T) {
+	c := oneGate(t, netlist.AND)
+	m := New(c)
+	a, _ := c.SignalByName("a")
+	bad := fault.Fault{Site: fault.Site{Signal: a, Gate: 0, Pin: 9, FF: -1}, SA: logic.One}
+	if err := m.InjectFault(bad, 1); err == nil {
+		t.Error("out-of-range pin accepted")
+	}
+	badSA := fault.Fault{Site: fault.Site{Signal: a, Gate: -1, Pin: -1, FF: -1}, SA: logic.X}
+	if err := m.InjectFault(badSA, 1); err == nil {
+		t.Error("stuck-at-X accepted")
+	}
+}
+
+// TestBroadcastPlanesProperty: encoding/decoding one value through the
+// planes is the identity for every slot.
+func TestBroadcastPlanesProperty(t *testing.T) {
+	f := func(raw uint8, slot uint8) bool {
+		v := logic.Value(raw % 3)
+		z, o := broadcast(v)
+		return planesValue(z, o, uint64(1)<<(slot%64)) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestResetAllX(t *testing.T) {
+	c := mustParse(t, `
+INPUT(a)
+OUTPUT(q)
+q = DFF(a)
+`)
+	m := New(c)
+	m.Step(logic.Vector{logic.One})
+	m.Reset()
+	m.Step(logic.Vector{logic.One})
+	if got := m.OutputSlot(0, 0); got != logic.X {
+		t.Errorf("after Reset q = %v, want X", got)
+	}
+}

@@ -1,0 +1,213 @@
+// Package testability computes SCOAP-style testability measures:
+// 0-controllability (CC0), 1-controllability (CC1) and observability
+// (CO) for every signal of a circuit's combinational view. The measures
+// guide the PODEM backtrace (easiest input for a controlling value,
+// hardest-first for non-controlling values) and give quick structural
+// insight into why a fault is hard to test.
+//
+// Flip-flop outputs are costed like primary inputs (cost 1): in the
+// scan-based flows of this library the state is controllable through
+// the chain, which is exactly SCOAP's full-scan convention. Flip-flop
+// data inputs count as observation points for the same reason.
+package testability
+
+import (
+	"repro/internal/netlist"
+)
+
+// Inf is the cost assigned to unachievable values (no path).
+const Inf = int32(1 << 28)
+
+// Measures holds per-signal SCOAP values.
+type Measures struct {
+	// CC0[s] and CC1[s] estimate the effort to set signal s to 0 / 1.
+	CC0, CC1 []int32
+	// CO[s] estimates the effort to observe signal s.
+	CO []int32
+}
+
+// Compute calculates controllability (one forward pass in evaluation
+// order) and observability (one backward pass) for circuit c.
+func Compute(c *netlist.Circuit) *Measures {
+	n := len(c.Signals)
+	m := &Measures{
+		CC0: make([]int32, n),
+		CC1: make([]int32, n),
+		CO:  make([]int32, n),
+	}
+	for s := range c.Signals {
+		switch c.Signals[s].Kind {
+		case netlist.KindInput, netlist.KindFF:
+			m.CC0[s], m.CC1[s] = 1, 1
+		default:
+			m.CC0[s], m.CC1[s] = Inf, Inf
+		}
+	}
+	for _, gi := range c.Order {
+		g := &c.Gates[gi]
+		cc0, cc1 := m.gateControllability(g)
+		m.CC0[g.Out], m.CC1[g.Out] = cc0, cc1
+	}
+
+	for s := range m.CO {
+		m.CO[s] = Inf
+	}
+	for _, o := range c.Outputs {
+		m.CO[o] = 0
+	}
+	for _, ff := range c.FFs {
+		if m.CO[ff.D] > 0 {
+			m.CO[ff.D] = 0
+		}
+	}
+	// Backward over the evaluation order; the DAG needs one pass.
+	for i := len(c.Order) - 1; i >= 0; i-- {
+		g := &c.Gates[c.Order[i]]
+		if m.CO[g.Out] >= Inf {
+			continue
+		}
+		for pin, in := range g.In {
+			co := m.pinObservability(g, pin)
+			if co < m.CO[in] {
+				m.CO[in] = co
+			}
+		}
+	}
+	return m
+}
+
+func satAdd(a, b int32) int32 {
+	s := a + b
+	if s >= Inf {
+		return Inf
+	}
+	return s
+}
+
+// gateControllability folds the SCOAP rules over a gate's inputs.
+func (m *Measures) gateControllability(g *netlist.Gate) (cc0, cc1 int32) {
+	switch g.Type {
+	case netlist.BUF:
+		return satAdd(m.CC0[g.In[0]], 1), satAdd(m.CC1[g.In[0]], 1)
+	case netlist.NOT:
+		return satAdd(m.CC1[g.In[0]], 1), satAdd(m.CC0[g.In[0]], 1)
+	case netlist.AND, netlist.NAND:
+		all1 := int32(0)
+		min0 := Inf
+		for _, in := range g.In {
+			all1 = satAdd(all1, m.CC1[in])
+			if m.CC0[in] < min0 {
+				min0 = m.CC0[in]
+			}
+		}
+		c0 := satAdd(min0, 1) // one controlling 0
+		c1 := satAdd(all1, 1) // all non-controlling 1s
+		if g.Type == netlist.NAND {
+			return c1, c0
+		}
+		return c0, c1
+	case netlist.OR, netlist.NOR:
+		all0 := int32(0)
+		min1 := Inf
+		for _, in := range g.In {
+			all0 = satAdd(all0, m.CC0[in])
+			if m.CC1[in] < min1 {
+				min1 = m.CC1[in]
+			}
+		}
+		c1 := satAdd(min1, 1)
+		c0 := satAdd(all0, 1)
+		if g.Type == netlist.NOR {
+			return c1, c0
+		}
+		return c0, c1
+	case netlist.XOR, netlist.XNOR:
+		// Fold pairwise: cost of even/odd parity.
+		even, odd := m.CC0[g.In[0]], m.CC1[g.In[0]]
+		for _, in := range g.In[1:] {
+			e2 := min32(satAdd(even, m.CC0[in]), satAdd(odd, m.CC1[in]))
+			o2 := min32(satAdd(even, m.CC1[in]), satAdd(odd, m.CC0[in]))
+			even, odd = e2, o2
+		}
+		c0, c1 := satAdd(even, 1), satAdd(odd, 1)
+		if g.Type == netlist.XNOR {
+			return c1, c0
+		}
+		return c0, c1
+	}
+	return Inf, Inf
+}
+
+// pinObservability is the effort to observe input pin `pin` of gate g:
+// the gate output's observability plus the cost of holding every other
+// input at its non-controlling value.
+func (m *Measures) pinObservability(g *netlist.Gate, pin int) int32 {
+	co := m.CO[g.Out]
+	switch g.Type {
+	case netlist.BUF, netlist.NOT:
+		return satAdd(co, 1)
+	case netlist.AND, netlist.NAND:
+		for p, in := range g.In {
+			if p != pin {
+				co = satAdd(co, m.CC1[in])
+			}
+		}
+		return satAdd(co, 1)
+	case netlist.OR, netlist.NOR:
+		for p, in := range g.In {
+			if p != pin {
+				co = satAdd(co, m.CC0[in])
+			}
+		}
+		return satAdd(co, 1)
+	case netlist.XOR, netlist.XNOR:
+		// Other inputs need any binary value; use the cheaper.
+		for p, in := range g.In {
+			if p != pin {
+				co = satAdd(co, min32(m.CC0[in], m.CC1[in]))
+			}
+		}
+		return satAdd(co, 1)
+	}
+	return Inf
+}
+
+func min32(a, b int32) int32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Hardest returns the signals with the largest detection-cost estimate
+// CC(sa) + CO, for stuck-at-0 faults if sa0, else stuck-at-1; up to n
+// entries, hardest first. Useful for prioritizing target faults.
+func (m *Measures) Hardest(c *netlist.Circuit, sa0 bool, n int) []netlist.SignalID {
+	type entry struct {
+		sig  netlist.SignalID
+		cost int32
+	}
+	var all []entry
+	for s := range c.Signals {
+		sig := netlist.SignalID(s)
+		// Detecting s stuck-at-0 requires setting s to 1.
+		cc := m.CC1[sig]
+		if !sa0 {
+			cc = m.CC0[sig]
+		}
+		all = append(all, entry{sig: sig, cost: satAdd(cc, m.CO[sig])})
+	}
+	for i := 1; i < len(all); i++ {
+		for j := i; j > 0 && all[j].cost > all[j-1].cost; j-- {
+			all[j], all[j-1] = all[j-1], all[j]
+		}
+	}
+	if n > len(all) {
+		n = len(all)
+	}
+	out := make([]netlist.SignalID, n)
+	for i := 0; i < n; i++ {
+		out[i] = all[i].sig
+	}
+	return out
+}

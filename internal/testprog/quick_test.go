@@ -1,0 +1,111 @@
+package testprog
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/circuits"
+	"repro/internal/logic"
+	"repro/internal/scan"
+)
+
+// TestSplitFlattenIdentityProperty: Split followed by Flatten is the
+// identity on arbitrary mixed sequences, and the segment boundaries
+// partition the sequence.
+func TestSplitFlattenIdentityProperty(t *testing.T) {
+	c, err := circuits.Load("s27")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := scan.Insert(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(pattern uint32, fill uint64) bool {
+		rng := logic.NewRandFiller(fill | 1)
+		var seq logic.Sequence
+		for i := 0; i < 20; i++ {
+			var v logic.Vector
+			if pattern&(1<<uint(i%32)) != 0 {
+				v = sc.ShiftVector(rng.Next())
+			} else {
+				v = sc.FunctionalVector(logic.NewVector(4))
+			}
+			for j := range v {
+				if v[j] == logic.X {
+					v[j] = rng.Next()
+				}
+			}
+			seq = append(seq, v)
+		}
+		p := Split(sc, seq)
+		flat := p.Flatten()
+		if len(flat) != len(seq) {
+			return false
+		}
+		for i := range seq {
+			if flat[i].String() != seq[i].String() {
+				return false
+			}
+		}
+		// Segments alternate in kind and partition [0, len).
+		pos := 0
+		for i, seg := range p.Segments {
+			if seg.Start != pos || seg.Len() == 0 {
+				return false
+			}
+			if i > 0 && seg.Kind == p.Segments[i-1].Kind {
+				return false
+			}
+			pos += seg.Len()
+		}
+		return pos == len(seq)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFormatParseIdentityProperty: the textual form round-trips for
+// random programs.
+func TestFormatParseIdentityProperty(t *testing.T) {
+	c, _ := circuits.Load("s27")
+	sc, _ := scan.Insert(c)
+	f := func(pattern uint16, fill uint64) bool {
+		rng := logic.NewRandFiller(fill ^ 0xBEEF)
+		var seq logic.Sequence
+		for i := 0; i < 12; i++ {
+			var v logic.Vector
+			if pattern&(1<<uint(i)) != 0 {
+				v = sc.ShiftVector(rng.Next())
+			} else {
+				v = sc.FunctionalVector(logic.NewVector(4))
+			}
+			for j := range v {
+				if v[j] == logic.X {
+					v[j] = rng.Next()
+				}
+			}
+			seq = append(seq, v)
+		}
+		p := Split(sc, seq)
+		q, err := Parse(strings.NewReader(p.Format()))
+		if err != nil {
+			return false
+		}
+		a, b := p.Flatten(), q.Flatten()
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i].String() != b[i].String() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

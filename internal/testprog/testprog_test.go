@@ -1,0 +1,172 @@
+package testprog
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/circuits"
+	"repro/internal/fault"
+	"repro/internal/logic"
+	"repro/internal/scan"
+	"repro/internal/seqatpg"
+)
+
+func s27Scan(t *testing.T) *scan.Circuit {
+	t.Helper()
+	c, err := circuits.Load("s27")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := scan.Insert(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+func mixedSeq(sc *scan.Circuit) logic.Sequence {
+	f := sc.FunctionalVector(logic.NewVector(4))
+	s := sc.ShiftVector(logic.One)
+	seq := logic.Sequence{f, s, s, f, f, s, s, s, f}
+	seq.FillX(logic.NewRandFiller(1))
+	return seq
+}
+
+func TestSplitSegments(t *testing.T) {
+	sc := s27Scan(t)
+	p := Split(sc, mixedSeq(sc))
+	kinds := []SegmentKind{Functional, ScanOp, Functional, ScanOp, Functional}
+	lens := []int{1, 2, 2, 3, 1}
+	if len(p.Segments) != len(kinds) {
+		t.Fatalf("segments = %d, want %d", len(p.Segments), len(kinds))
+	}
+	pos := 0
+	for i, seg := range p.Segments {
+		if seg.Kind != kinds[i] || seg.Len() != lens[i] {
+			t.Errorf("segment %d: %v/%d, want %v/%d", i, seg.Kind, seg.Len(), kinds[i], lens[i])
+		}
+		if seg.Start != pos {
+			t.Errorf("segment %d: start %d, want %d", i, seg.Start, pos)
+		}
+		pos += seg.Len()
+	}
+	// Run of 2 is limited (NSV=3); run of 3 is complete.
+	if !p.Segments[1].Limited {
+		t.Error("2-shift scan op not marked limited")
+	}
+	if p.Segments[3].Limited {
+		t.Error("3-shift scan op marked limited")
+	}
+}
+
+func TestStats(t *testing.T) {
+	sc := s27Scan(t)
+	st := Split(sc, mixedSeq(sc)).Stats()
+	if st.Cycles != 9 || st.ScanOps != 2 || st.LimitedScanOps != 1 ||
+		st.CompleteScanOps != 1 || st.ScanCycles != 5 || st.FuncCycles != 4 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestFlattenRoundTrip(t *testing.T) {
+	sc := s27Scan(t)
+	seq := mixedSeq(sc)
+	flat := Split(sc, seq).Flatten()
+	if len(flat) != len(seq) {
+		t.Fatal("length changed")
+	}
+	for i := range seq {
+		if flat[i].String() != seq[i].String() {
+			t.Fatalf("vector %d changed", i)
+		}
+	}
+}
+
+func TestWriteParseRoundTrip(t *testing.T) {
+	sc := s27Scan(t)
+	p := Split(sc, mixedSeq(sc))
+	text := p.Format()
+	q, err := Parse(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("%v\n%s", err, text)
+	}
+	if q.NSV != p.NSV || len(q.Segments) != len(p.Segments) {
+		t.Fatalf("round trip changed structure")
+	}
+	for i := range p.Segments {
+		if q.Segments[i].Kind != p.Segments[i].Kind ||
+			q.Segments[i].Limited != p.Segments[i].Limited ||
+			q.Segments[i].Len() != p.Segments[i].Len() {
+			t.Errorf("segment %d changed", i)
+		}
+	}
+	a, b := p.Flatten(), q.Flatten()
+	for i := range a {
+		if a[i].String() != b[i].String() {
+			t.Fatalf("vector %d changed", i)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"scan x\n",
+		"01x\n",              // vector outside a segment
+		"func 2\n0101x0\n",   // short segment
+		"scan 1\nnotavec!\n", // bad vector
+	}
+	for _, text := range cases {
+		if _, err := Parse(strings.NewReader(text)); err == nil {
+			t.Errorf("accepted %q", text)
+		}
+	}
+}
+
+func TestEmptySequence(t *testing.T) {
+	sc := s27Scan(t)
+	p := Split(sc, nil)
+	if len(p.Segments) != 0 || p.Stats().Cycles != 0 {
+		t.Error("empty sequence produced segments")
+	}
+}
+
+// TestCompactedSequenceHasLimitedOps ties the package to the paper's
+// headline observation: compacted generated sequences contain limited
+// scan operations.
+func TestCompactedSequenceHasLimitedOps(t *testing.T) {
+	sc := s27Scan(t)
+	faults := fault.Universe(sc.Scan, true)
+	res := seqatpg.Generate(sc, faults, seqatpg.Options{Seed: 1})
+	st := Split(sc, res.Sequence).Stats()
+	if st.LimitedScanOps == 0 {
+		t.Error("no limited scan operations in generated sequence")
+	}
+	if st.Cycles != len(res.Sequence) {
+		t.Error("cycle count mismatch")
+	}
+}
+
+// TestSplitOnMultiChain: segmentation is design-agnostic through the
+// Design interface.
+func TestSplitOnMultiChain(t *testing.T) {
+	c, _ := circuits.Load("s298")
+	ch, err := scan.InsertChains(c, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := logic.Sequence{
+		ch.ShiftVector(nil),
+		ch.ShiftVector(nil),
+		logic.NewVector(ch.Scan.NumInputs()),
+	}
+	seq.FillX(logic.NewRandFiller(2))
+	// FillX may have made the functional vector's scan_sel 1; force 0.
+	seq[2][ch.SelPI] = logic.Zero
+	p := Split(ch, seq)
+	if len(p.Segments) != 2 || p.Segments[0].Kind != ScanOp || p.Segments[0].Len() != 2 {
+		t.Fatalf("segments = %+v", p.Segments)
+	}
+	if p.NSV != ch.NumStateVars() {
+		t.Errorf("NSV = %d", p.NSV)
+	}
+}

@@ -1,0 +1,187 @@
+package transition_test
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/circuits"
+	"repro/internal/fault"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/scan"
+	"repro/internal/seqatpg"
+	"repro/internal/sim"
+	"repro/internal/transition"
+)
+
+func mustParse(t *testing.T, text string) *netlist.Circuit {
+	t.Helper()
+	c, err := bench.ParseString(text, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestSlowToRiseSemantics: a buffer's slow-to-rise fault shows the old
+// 0 for one extra cycle on a 0->1 transition and is transparent on
+// 1->0.
+func TestSlowToRiseSemantics(t *testing.T) {
+	c := mustParse(t, `
+INPUT(a)
+OUTPUT(y)
+y = BUF(a)
+`)
+	y, _ := c.SignalByName("y")
+	m := sim.New(c)
+	if err := m.InjectTransitionFault(y, true, 1); err != nil {
+		t.Fatal(err)
+	}
+	steps := []struct {
+		in   logic.Value
+		want logic.Value
+	}{
+		{logic.Zero, logic.Zero}, // settle (prev X -> AND(0,X)=0)
+		{logic.One, logic.Zero},  // rising edge delayed
+		{logic.One, logic.One},   // arrives one cycle late
+		{logic.Zero, logic.Zero}, // falling edge immediate
+		{logic.One, logic.Zero},  // delayed again
+	}
+	for i, st := range steps {
+		m.Step(logic.Vector{st.in})
+		if got := m.OutputSlot(0, 0); got != st.want {
+			t.Fatalf("step %d: y = %v, want %v", i, got, st.want)
+		}
+	}
+}
+
+// TestSlowToFallSemantics: dual behaviour for slow-to-fall.
+func TestSlowToFallSemantics(t *testing.T) {
+	c := mustParse(t, `
+INPUT(a)
+OUTPUT(y)
+y = BUF(a)
+`)
+	y, _ := c.SignalByName("y")
+	m := sim.New(c)
+	if err := m.InjectTransitionFault(y, false, 1); err != nil {
+		t.Fatal(err)
+	}
+	steps := []struct {
+		in   logic.Value
+		want logic.Value
+	}{
+		{logic.One, logic.One},   // settle
+		{logic.Zero, logic.One},  // falling edge delayed
+		{logic.Zero, logic.Zero}, // arrives late
+		{logic.One, logic.One},   // rising edge immediate
+	}
+	for i, st := range steps {
+		m.Step(logic.Vector{st.in})
+		if got := m.OutputSlot(0, 0); got != st.want {
+			t.Fatalf("step %d: y = %v, want %v", i, got, st.want)
+		}
+	}
+}
+
+func TestBothPolaritiesOneSignalDifferentSlots(t *testing.T) {
+	c := mustParse(t, `
+INPUT(a)
+OUTPUT(y)
+y = BUF(a)
+`)
+	y, _ := c.SignalByName("y")
+	m := sim.New(c)
+	if err := m.InjectTransitionFault(y, true, 1<<0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.InjectTransitionFault(y, false, 1<<1); err != nil {
+		t.Fatal(err)
+	}
+	m.Step(logic.Vector{logic.Zero})
+	m.Step(logic.Vector{logic.One}) // rising edge
+	if got := m.OutputSlot(0, 0); got != logic.Zero {
+		t.Errorf("STR slot on rising edge = %v, want 0", got)
+	}
+	if got := m.OutputSlot(0, 1); got != logic.One {
+		t.Errorf("STF slot on rising edge = %v, want 1", got)
+	}
+}
+
+func TestUniverseSize(t *testing.T) {
+	c, _ := circuits.Load("s27")
+	u := transition.Universe(c)
+	if len(u) != 2*len(c.Signals) {
+		t.Errorf("universe = %d, want %d", len(u), 2*len(c.Signals))
+	}
+}
+
+// TestGradedCoverageOnGeneratedSequence: the stuck-at sequences the
+// library generates achieve substantial transition coverage because
+// every vector is applied at-speed.
+func TestGradedCoverageOnGeneratedSequence(t *testing.T) {
+	c, err := circuits.Load("s298")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := scan.Insert(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	saFaults := fault.Universe(sc.Scan, true)
+	gen := seqatpg.Generate(sc, saFaults, seqatpg.Options{Seed: 1})
+	res := transition.Run(sc.Scan, gen.Sequence, transition.Universe(sc.Scan))
+	if res.Coverage() < 50 {
+		t.Errorf("transition coverage = %.2f%%, expected a substantial fraction", res.Coverage())
+	}
+	t.Logf("transition coverage of stuck-at sequence: %.2f%%", res.Coverage())
+}
+
+// TestTransitionHarderThanStuckAt: the same sequence can never detect a
+// transition fault at a site before both values were exercised, so
+// transition coverage is at most the stuck-at coverage.
+func TestTransitionHarderThanStuckAt(t *testing.T) {
+	c, _ := circuits.Load("s27")
+	sc, _ := scan.Insert(c)
+	saFaults := fault.Universe(sc.Scan, false)
+	gen := seqatpg.Generate(sc, saFaults, seqatpg.Options{Seed: 1})
+	sa := sim.Run(sc.Scan, gen.Sequence, saFaults, sim.Options{})
+	tr := transition.Run(sc.Scan, gen.Sequence, transition.Universe(sc.Scan))
+	saCov := 100 * float64(sa.NumDetected()) / float64(len(saFaults))
+	if tr.Coverage() > saCov+1e-9 {
+		t.Errorf("transition coverage %.2f%% above stuck-at %.2f%%", tr.Coverage(), saCov)
+	}
+}
+
+func TestRunEmpty(t *testing.T) {
+	c, _ := circuits.Load("s27")
+	if got := transition.Run(c, nil, transition.Universe(c)); got.NumDetected() != 0 {
+		t.Error("empty sequence detected transition faults")
+	}
+	if got := transition.Run(c, logic.Sequence{logic.NewVector(c.NumInputs())}, nil); len(got.DetectedAt) != 0 {
+		t.Error("empty universe produced results")
+	}
+	var empty transition.Result
+	if empty.Coverage() != 100 {
+		t.Error("empty coverage != 100")
+	}
+}
+
+func TestClearFaultsRemovesTransitions(t *testing.T) {
+	c := mustParse(t, `
+INPUT(a)
+OUTPUT(y)
+y = BUF(a)
+`)
+	y, _ := c.SignalByName("y")
+	m := sim.New(c)
+	if err := m.InjectTransitionFault(y, true, 1); err != nil {
+		t.Fatal(err)
+	}
+	m.ClearFaults()
+	m.Step(logic.Vector{logic.Zero})
+	m.Step(logic.Vector{logic.One})
+	if got := m.OutputSlot(0, 0); got != logic.One {
+		t.Errorf("transition fault survived ClearFaults: y = %v", got)
+	}
+}
