@@ -30,6 +30,7 @@ func main() {
 		noCollapse = flag.Bool("no-collapse", false, "disable fault equivalence collapsing")
 		omitCap    = flag.Int("omit-cap", 0, "skip omission when the restored sequence exceeds this many vectors (0 = never)")
 		chains     = flag.Int("chains", 1, "number of scan chains (generation flow)")
+		workers    = flag.Int("workers", 0, "fault-simulation worker count (0 = all cores; results are identical for every value)")
 		outFile    = flag.String("out", "", "with -circuit: write the (compacted) sequence to this file")
 		verbose    = flag.Bool("v", false, "progress to stderr")
 	)
@@ -41,6 +42,7 @@ func main() {
 	cfg.SkipBaseline = *noBaseline
 	cfg.OmitLenCap = *omitCap
 	cfg.Chains = *chains
+	cfg.Workers = *workers
 
 	switch {
 	case *circuit != "":

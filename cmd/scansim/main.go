@@ -39,6 +39,7 @@ func main() {
 		diag       = flag.Bool("diag", false, "build a fault dictionary and report diagnostic resolution")
 		verify     = flag.Bool("verify", false, "validate the sequence's structure (width, fully specified)")
 		trans      = flag.Bool("transition", false, "also grade the sequence for gross-delay transition faults")
+		workers    = flag.Int("workers", 0, "fault-simulation worker count (0 = all cores; results are identical for every value)")
 	)
 	flag.Parse()
 	if *circuit == "" || (*seqFile == "" && !*gen) {
@@ -58,7 +59,7 @@ func main() {
 
 	var seq logic.Sequence
 	if *gen {
-		res := seqatpg.Generate(sc, faults, seqatpg.Options{Seed: *seed})
+		res := seqatpg.Generate(sc, faults, seqatpg.Options{Seed: *seed, Workers: *workers})
 		seq = res.Sequence
 	} else {
 		data, err := os.ReadFile(*seqFile)
@@ -85,7 +86,8 @@ func main() {
 		}
 		fmt.Println("sequence structure: OK (widths match, fully specified)")
 	}
-	res := sim.Run(sc.Scan, seq, faults, sim.Options{})
+	sm := sim.NewSimulator(sc.Scan, *workers)
+	res := sm.Run(seq, faults, sim.Options{})
 	det := res.NumDetected()
 	fmt.Printf("circuit %s_scan: %d inputs, %d state variables\n",
 		*circuit, sc.Scan.NumInputs(), sc.NSV)
@@ -107,7 +109,7 @@ func main() {
 			len(tf), tr.NumDetected(), tr.Coverage())
 	}
 	if *diag {
-		d := diagnose.Build(sc.Scan, seq, faults)
+		d := diagnose.BuildWith(sm, seq, faults)
 		groups := d.Equivalent()
 		fmt.Printf("fault dictionary: diagnostic resolution %.3f, %d indistinguishable groups\n",
 			d.Resolution(), len(groups))

@@ -12,6 +12,9 @@
 package baseline
 
 import (
+	"sync"
+	"sync/atomic"
+
 	"repro/internal/combatpg"
 	"repro/internal/fault"
 	"repro/internal/logic"
@@ -29,6 +32,9 @@ type Options struct {
 	MaxExtension int
 	// PodemBacktracks bounds each PODEM call (default 100).
 	PodemBacktracks int
+	// Workers is the fault-simulation worker count (0 = GOMAXPROCS).
+	// The generated test set is identical for every value.
+	Workers int
 }
 
 func (o Options) withDefaults(nsv int) Options {
@@ -70,6 +76,7 @@ func (r Result) NumDetected() int {
 // c (the original, non-scan circuit) and fault list faults.
 func Generate(c *netlist.Circuit, faults []fault.Fault, opts Options) Result {
 	opts = opts.withDefaults(c.NumFFs())
+	s := sim.NewSimulator(c, opts.Workers)
 	rng := logic.NewRandFiller(opts.Seed ^ 0x5DEECE66D)
 	full := combatpg.NewGenerator(c, combatpg.Options{
 		AssignState:   true,
@@ -98,15 +105,15 @@ func Generate(c *netlist.Circuit, faults []fault.Fault, opts Options) Result {
 		// Greedy extension: append functional vectors while they
 		// increase the number of faults this test detects ("second
 		// approach": several primary input vectors between scans).
-		prev := SimulateTest(c, test, faults, detected)
+		prev := simulateTest(s, test, faults, detected)
 		frame := combatpg.NewGenerator(c, combatpg.Options{
 			ObservePPO:    true,
 			MaxBacktracks: opts.PodemBacktracks / 2,
 		})
 		for ext := 0; ext < opts.MaxExtension; ext++ {
-			cand := nextVector(c, test, faults, detected, prev, frame, rng)
+			cand := nextVector(s, test, faults, detected, prev, frame, rng)
 			trial := translate.ScanTest{SI: test.SI, T: append(test.T.Clone(), cand)}
-			got := SimulateTest(c, trial, faults, detected)
+			got := simulateTest(s, trial, faults, detected)
 			if len(got) <= len(prev) {
 				break
 			}
@@ -121,7 +128,7 @@ func Generate(c *netlist.Circuit, faults []fault.Fault, opts Options) Result {
 		}
 	}
 
-	tests, detected = reverseOrderCompact(c, tests, faults, detected)
+	tests, detected = reverseOrderCompact(s, tests, faults, detected)
 	return Result{
 		Tests:      tests,
 		DetectedBy: detected,
@@ -132,8 +139,9 @@ func Generate(c *netlist.Circuit, faults []fault.Fault, opts Options) Result {
 // nextVector proposes the next functional vector for a test: a PODEM
 // solution for some still-undetected fault from the state the test has
 // reached, or a random vector when PODEM has nothing to offer.
-func nextVector(c *netlist.Circuit, test translate.ScanTest, faults []fault.Fault, detected []int, already []int, frame *combatpg.Generator, rng *logic.RandFiller) logic.Vector {
-	state := stateAfter(c, test)
+func nextVector(s *sim.Simulator, test translate.ScanTest, faults []fault.Fault, detected []int, already []int, frame *combatpg.Generator, rng *logic.RandFiller) logic.Vector {
+	c := s.Circuit()
+	state := stateAfter(s, test)
 	frame.SetStates(state, nil)
 	seen := make(map[int]bool, len(already))
 	for _, fi := range already {
@@ -161,8 +169,9 @@ func nextVector(c *netlist.Circuit, test translate.ScanTest, faults []fault.Faul
 
 // stateAfter simulates the fault-free circuit through the test and
 // returns the reached state.
-func stateAfter(c *netlist.Circuit, test translate.ScanTest) []logic.Value {
-	m := sim.New(c)
+func stateAfter(s *sim.Simulator, test translate.ScanTest) []logic.Value {
+	m := s.Acquire()
+	defer s.Release(m)
 	m.SetStateBroadcast(test.SI)
 	for _, v := range test.T {
 		m.Step(v)
@@ -177,8 +186,16 @@ func stateAfter(c *netlist.Circuit, test translate.ScanTest) []logic.Value {
 // the scan-out. It returns the indices of newly detected faults;
 // skip[i] >= 0 marks faults to ignore.
 func SimulateTest(c *netlist.Circuit, test translate.ScanTest, faults []fault.Fault, skip []int) []int {
-	var out []int
-	good := sim.New(c)
+	return simulateTest(sim.NewSimulator(c, 1), test, faults, skip)
+}
+
+// simulateTest is SimulateTest drawing machines from a simulator pool
+// and fanning the 64-fault batches out across its workers. Batch
+// results are reassembled in fault order, so the returned indices are
+// identical for every worker count.
+func simulateTest(s *sim.Simulator, test translate.ScanTest, faults []fault.Fault, skip []int) []int {
+	c := s.Circuit()
+	good := s.Acquire()
 	good.SetStateBroadcast(test.SI)
 	nPO := c.NumOutputs()
 	goodPO := make([][]logic.Value, len(test.T))
@@ -191,14 +208,29 @@ func SimulateTest(c *netlist.Circuit, test translate.ScanTest, faults []fault.Fa
 		goodPO[t] = row
 	}
 	goodFinal := good.StateSlot(0)
+	s.Release(good)
 
-	m := sim.New(c)
-	var batch []int
-	flush := func() {
-		if len(batch) == 0 {
-			return
+	var idx []int
+	for fi := range faults {
+		if skip != nil && skip[fi] >= 0 {
+			continue
 		}
+		idx = append(idx, fi)
+	}
+	if len(idx) == 0 {
+		return nil
+	}
+	nBatches := (len(idx) + sim.Slots - 1) / sim.Slots
+	results := make([][]int, nBatches)
+	runBatch := func(m *sim.Machine, bi int) {
+		start := bi * sim.Slots
+		end := start + sim.Slots
+		if end > len(idx) {
+			end = len(idx)
+		}
+		batch := idx[start:end]
 		m.ClearFaults()
+		m.Reset()
 		m.SetStateBroadcast(test.SI)
 		for k, fi := range batch {
 			if err := m.InjectFault(faults[fi], uint64(1)<<uint(k)); err != nil {
@@ -236,30 +268,55 @@ func SimulateTest(c *netlist.Circuit, test translate.ScanTest, faults []fault.Fa
 			}
 			det |= sim.DetectMask(gz, gd, fz, fd)
 		}
+		var out []int
 		for k, fi := range batch {
 			if det&(uint64(1)<<uint(k)) != 0 {
 				out = append(out, fi)
 			}
 		}
-		batch = batch[:0]
+		results[bi] = out
 	}
-	for fi := range faults {
-		if skip != nil && skip[fi] >= 0 {
-			continue
-		}
-		batch = append(batch, fi)
-		if len(batch) == sim.Slots {
-			flush()
-		}
+	nw := s.Workers()
+	if nw > nBatches {
+		nw = nBatches
 	}
-	flush()
+	if nw <= 1 {
+		m := s.Acquire()
+		for bi := 0; bi < nBatches; bi++ {
+			runBatch(m, bi)
+		}
+		s.Release(m)
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < nw; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				m := s.Acquire()
+				defer s.Release(m)
+				for {
+					bi := int(next.Add(1)) - 1
+					if bi >= nBatches {
+						return
+					}
+					runBatch(m, bi)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	var out []int
+	for _, r := range results {
+		out = append(out, r...)
+	}
 	return out
 }
 
 // reverseOrderCompact drops tests that detect nothing the remaining
 // tests do not, processing in reverse generation order (later tests
 // were generated for harder faults and tend to cover earlier ones).
-func reverseOrderCompact(c *netlist.Circuit, tests []translate.ScanTest, faults []fault.Fault, detected []int) ([]translate.ScanTest, []int) {
+func reverseOrderCompact(s *sim.Simulator, tests []translate.ScanTest, faults []fault.Fault, detected []int) ([]translate.ScanTest, []int) {
 	needed := make([]int, len(faults))
 	for i := range needed {
 		if detected[i] >= 0 {
@@ -278,7 +335,7 @@ func reverseOrderCompact(c *netlist.Circuit, tests []translate.ScanTest, faults 
 				skip[i] = 0 // skip
 			}
 		}
-		det := SimulateTest(c, tests[ti], faults, skip)
+		det := simulateTest(s, tests[ti], faults, skip)
 		if len(det) == 0 {
 			continue
 		}

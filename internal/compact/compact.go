@@ -13,14 +13,41 @@
 // Because scan operations are explicit vectors in this representation,
 // both procedures freely shorten complete scan operations into limited
 // ones — the flexibility the paper's approach is built on.
+//
+// Both passes run their fault simulations through one shared
+// sim.Simulator (see Options), so trial runs draw machines from a pool
+// instead of allocating, and multi-batch runs fan out across workers.
+// Worker count never changes the compacted output — only wall-clock.
 package compact
 
 import (
+	"sort"
+
 	"repro/internal/fault"
 	"repro/internal/logic"
 	"repro/internal/netlist"
 	"repro/internal/sim"
 )
+
+// Options tunes a compaction pass. The zero value selects a private
+// simulator with runtime.GOMAXPROCS workers.
+type Options struct {
+	// Workers is the fault-simulation worker count (0 = GOMAXPROCS).
+	// Results are identical for every value; only wall-clock changes.
+	Workers int
+	// Sim, when non-nil, supplies the simulator (and its machine pool);
+	// its circuit must match the pass's circuit. Workers is then
+	// ignored. Sharing one Simulator across restoration, omission and
+	// any surrounding flow amortizes machine allocation.
+	Sim *sim.Simulator
+}
+
+func (o Options) simulator(c *netlist.Circuit) *sim.Simulator {
+	if o.Sim != nil {
+		return o.Sim
+	}
+	return sim.NewSimulator(c, o.Workers)
+}
 
 // Stats reports what one compaction pass did.
 type Stats struct {
@@ -33,17 +60,33 @@ type Stats struct {
 	// that the compacted sequence happens to detect (the paper's "ext
 	// det" column).
 	ExtraDetected int
-	// Simulations counts fault simulation passes performed.
+	// Simulations counts fault-simulation passes (whole sim.Run-shaped
+	// calls), regardless of how many faults or vectors each simulated.
 	Simulations int
+	// BatchSteps counts the actual simulation work in uniform units:
+	// one unit is one 64-fault batch advanced by one vector. Unlike
+	// Simulations it is comparable across passes whose runs differ in
+	// fault count, sequence length or early exit.
+	BatchSteps int64
 }
 
 // Restore runs vector-restoration compaction of seq for circuit c,
 // preserving detection of every fault in faults that seq detects.
 func Restore(c *netlist.Circuit, seq logic.Sequence, faults []fault.Fault) (logic.Sequence, Stats) {
+	return RestoreOpts(c, seq, faults, Options{})
+}
+
+// RestoreOpts is Restore with explicit Options. The compacted output is
+// identical for every Options value.
+func RestoreOpts(c *netlist.Circuit, seq logic.Sequence, faults []fault.Fault, opts Options) (logic.Sequence, Stats) {
+	s := opts.simulator(c)
 	st := Stats{BeforeLen: len(seq)}
-	base := sim.Run(c, seq, faults, sim.Options{})
+	base := s.Run(seq, faults, sim.Options{})
 	st.Simulations++
-	// Order detected faults by decreasing detection time.
+	st.BatchSteps += base.BatchSteps
+	// Order detected faults by decreasing detection time; equal times
+	// keep ascending fault order (the tie-break makes the sort total,
+	// so the restoration order — and the output — is deterministic).
 	var order []int
 	for fi, t := range base.DetectedAt {
 		if t != sim.NotDetected {
@@ -51,46 +94,59 @@ func Restore(c *netlist.Circuit, seq logic.Sequence, faults []fault.Fault) (logi
 		}
 	}
 	st.TargetFaults = len(order)
-	for i := 1; i < len(order); i++ {
-		for j := i; j > 0 && base.DetectedAt[order[j]] > base.DetectedAt[order[j-1]]; j-- {
-			order[j], order[j-1] = order[j-1], order[j]
+	sort.Slice(order, func(a, b int) bool {
+		ta, tb := base.DetectedAt[order[a]], base.DetectedAt[order[b]]
+		if ta != tb {
+			return ta > tb
 		}
-	}
+		return order[a] < order[b]
+	})
 
 	kept := make([]bool, len(seq))
+	scratch := make(logic.Sequence, 0, len(seq))
 	build := func() logic.Sequence {
-		out := make(logic.Sequence, 0, len(seq))
+		scratch = scratch[:0]
 		for i, k := range kept {
 			if k {
-				out = append(out, seq[i])
+				scratch = append(scratch, seq[i])
 			}
 		}
-		return out
+		return scratch
 	}
 	detects := func(fi int) bool {
 		st.Simulations++
-		r := sim.Run(c, build(), faults[fi:fi+1], sim.Options{})
+		r := s.Run(build(), faults[fi:fi+1], sim.Options{})
+		st.BatchSteps += r.BatchSteps
 		return r.Detected(0)
 	}
 	// covered[fi] means the currently restored subsequence already
 	// detects fault fi; refreshed in batches of 64 so the common "this
-	// fault needs no work" case costs 1/64th of a simulation.
-	covered := make(map[int]bool, len(order))
+	// fault needs no work" case costs 1/64th of a simulation. Faults
+	// already covered are dropped from later batch checks — they could
+	// only re-confirm a flag that never goes back to false.
+	covered := make([]bool, len(faults))
+	group := make([]int, 0, sim.Slots)
+	sub := make([]fault.Fault, 0, sim.Slots)
 	for pos := 0; pos < len(order); pos++ {
 		fi := order[pos]
 		if !covered[fi] {
-			// Batch-check this fault together with the next ones.
-			end := pos + 64
+			// Batch-check this fault together with the next
+			// still-uncovered ones in its 64-wide window.
+			end := pos + sim.Slots
 			if end > len(order) {
 				end = len(order)
 			}
-			group := order[pos:end]
-			sub := make([]fault.Fault, len(group))
-			for i, gi := range group {
-				sub[i] = faults[gi]
+			group, sub = group[:0], sub[:0]
+			for _, gi := range order[pos:end] {
+				if covered[gi] {
+					continue
+				}
+				group = append(group, gi)
+				sub = append(sub, faults[gi])
 			}
 			st.Simulations++
-			r := sim.Run(c, build(), sub, sim.Options{})
+			r := s.Run(build(), sub, sim.Options{})
+			st.BatchSteps += r.BatchSteps
 			for i, gi := range group {
 				if r.Detected(i) {
 					covered[gi] = true
@@ -120,9 +176,9 @@ func Restore(c *netlist.Circuit, seq logic.Sequence, faults []fault.Fault) (logi
 			}
 		}
 	}
-	out := build()
+	out := append(logic.Sequence(nil), build()...)
 	st.AfterLen = len(out)
-	st.ExtraDetected = countExtra(c, out, faults, base, &st)
+	st.ExtraDetected = countExtra(s, out, faults, base, &st)
 	return out, st
 }
 
@@ -139,8 +195,16 @@ const omitBlock = 16
 // strictly before t, so each trial only re-simulates the faults
 // detected at or after t.
 func Omit(c *netlist.Circuit, seq logic.Sequence, faults []fault.Fault) (logic.Sequence, Stats) {
+	return OmitOpts(c, seq, faults, Options{})
+}
+
+// OmitOpts is Omit with explicit Options. The compacted output is
+// identical for every Options value.
+func OmitOpts(c *netlist.Circuit, seq logic.Sequence, faults []fault.Fault, opts Options) (logic.Sequence, Stats) {
+	s := opts.simulator(c)
 	st := Stats{BeforeLen: len(seq)}
-	o := newOmitter(c, seq, faults)
+	o := newOmitter(s, seq, faults)
+	defer o.close()
 	base := sim.Result{DetectedAt: append([]int(nil), o.detAt...)}
 	for _, t := range o.detAt {
 		if t != sim.NotDetected {
@@ -181,7 +245,8 @@ func Omit(c *netlist.Circuit, seq logic.Sequence, faults []fault.Fault) (logic.S
 	}
 	st.AfterLen = len(o.cur)
 	st.Simulations = o.sims
-	st.ExtraDetected = countExtra(c, o.cur, faults, base, &st)
+	st.BatchSteps = o.steps
+	st.ExtraDetected = countExtra(s, o.cur, faults, base, &st)
 	return o.cur, st
 }
 
@@ -189,7 +254,7 @@ func Omit(c *netlist.Circuit, seq logic.Sequence, faults []fault.Fault) (logic.S
 // original did not. (base holds the original detections; note Omit
 // mutates base.DetectedAt's backing array only for already-detected
 // faults, so undetected entries are still authoritative.)
-func countExtra(c *netlist.Circuit, out logic.Sequence, faults []fault.Fault, base sim.Result, st *Stats) int {
+func countExtra(s *sim.Simulator, out logic.Sequence, faults []fault.Fault, base sim.Result, st *Stats) int {
 	var undetected []int
 	for fi, t := range base.DetectedAt {
 		if t == sim.NotDetected {
@@ -204,7 +269,8 @@ func countExtra(c *netlist.Circuit, out logic.Sequence, faults []fault.Fault, ba
 		sub[i] = faults[fi]
 	}
 	st.Simulations++
-	r := sim.Run(c, out, sub, sim.Options{})
+	r := s.Run(out, sub, sim.Options{})
+	st.BatchSteps += r.BatchSteps
 	return r.NumDetected()
 }
 
@@ -213,7 +279,14 @@ func countExtra(c *netlist.Circuit, out logic.Sequence, faults []fault.Fault, ba
 // BeforeLen overridden to the original length and ExtraDetected summed
 // over both passes.
 func RestoreThenOmit(c *netlist.Circuit, seq logic.Sequence, faults []fault.Fault) (restored, omitted logic.Sequence, rst, ost Stats) {
-	restored, rst = Restore(c, seq, faults)
-	omitted, ost = Omit(c, restored, faults)
+	return RestoreThenOmitOpts(c, seq, faults, Options{})
+}
+
+// RestoreThenOmitOpts is RestoreThenOmit with explicit Options; both
+// passes share one simulator (and machine pool).
+func RestoreThenOmitOpts(c *netlist.Circuit, seq logic.Sequence, faults []fault.Fault, opts Options) (restored, omitted logic.Sequence, rst, ost Stats) {
+	opts.Sim = opts.simulator(c)
+	restored, rst = RestoreOpts(c, seq, faults, opts)
+	omitted, ost = OmitOpts(c, restored, faults, opts)
 	return restored, omitted, rst, ost
 }

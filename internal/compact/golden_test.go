@@ -1,0 +1,118 @@
+package compact
+
+import (
+	"hash/fnv"
+	"testing"
+
+	"repro/internal/circuits"
+	"repro/internal/fault"
+	"repro/internal/logic"
+	"repro/internal/scan"
+	"repro/internal/seqatpg"
+	"repro/internal/sim"
+)
+
+// hashSeq fingerprints a sequence's exact vector content.
+func hashSeq(seq logic.Sequence) uint64 {
+	h := fnv.New64a()
+	for _, v := range seq {
+		h.Write([]byte(v.String()))
+		h.Write([]byte{'\n'})
+	}
+	return h.Sum64()
+}
+
+// TestRestoreThenOmitGolden pins the full compaction pipeline to the
+// output of the pre-parallelism serial implementation (goldens captured
+// on this repository before the Simulator existed). Machine pooling,
+// worker fan-out, the sort.Slice ordering and restoration fault
+// dropping must all be invisible in the result.
+func TestRestoreThenOmitGolden(t *testing.T) {
+	golden := []struct {
+		circuit                 string
+		raw, restored, omitted  int
+		restorHash, omittedHash uint64
+		rExtra, oExtra          int
+	}{
+		{"s27", 32, 22, 18, 0xcc244bfbb3717983, 0x291f1d64efe0ac52, 0, 0},
+		{"s298", 406, 302, 241, 0x337005ab71d8ba5b, 0x7b5b86c26aca9238, 0, 0},
+		{"s344", 274, 252, 176, 0xee62e965285934d8, 0xcca82642fc9dde5a, 0, 0},
+	}
+	for _, g := range golden {
+		g := g
+		t.Run(g.circuit, func(t *testing.T) {
+			c, err := circuits.Load(g.circuit)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sc, err := scan.Insert(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			faults := fault.Universe(sc.Scan, true)
+			gen := seqatpg.Generate(sc, faults, seqatpg.Options{Seed: 1})
+			if len(gen.Sequence) != g.raw {
+				t.Fatalf("raw sequence length %d, golden %d", len(gen.Sequence), g.raw)
+			}
+			restored, omitted, rst, ost := RestoreThenOmit(sc.Scan, gen.Sequence, faults)
+			if len(restored) != g.restored || hashSeq(restored) != g.restorHash {
+				t.Errorf("restored: len %d hash %#x, golden len %d hash %#x",
+					len(restored), hashSeq(restored), g.restored, g.restorHash)
+			}
+			if len(omitted) != g.omitted || hashSeq(omitted) != g.omittedHash {
+				t.Errorf("omitted: len %d hash %#x, golden len %d hash %#x",
+					len(omitted), hashSeq(omitted), g.omitted, g.omittedHash)
+			}
+			if rst.ExtraDetected != g.rExtra || ost.ExtraDetected != g.oExtra {
+				t.Errorf("extra detections (%d, %d), golden (%d, %d)",
+					rst.ExtraDetected, ost.ExtraDetected, g.rExtra, g.oExtra)
+			}
+		})
+	}
+}
+
+// TestCompactionWorkerDeterminism: the compacted sequence and the work
+// accounting must be identical for one worker and many — parallelism
+// only changes wall-clock time.
+func TestCompactionWorkerDeterminism(t *testing.T) {
+	c, err := circuits.Load("s298")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := scan.Insert(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := fault.Universe(sc.Scan, true)
+	rng := logic.NewRandFiller(11)
+	seq := make(logic.Sequence, 160)
+	for i := range seq {
+		v := logic.NewVector(sc.Scan.NumInputs())
+		for j := range v {
+			v[j] = rng.Next()
+		}
+		seq[i] = v
+	}
+
+	r1, o1, rst1, ost1 := RestoreThenOmitOpts(sc.Scan, seq, faults, Options{Workers: 1})
+	rN, oN, rstN, ostN := RestoreThenOmitOpts(sc.Scan, seq, faults, Options{Workers: 8})
+	if hashSeq(r1) != hashSeq(rN) || len(r1) != len(rN) {
+		t.Errorf("restored sequences differ: workers=1 len %d, workers=8 len %d", len(r1), len(rN))
+	}
+	if hashSeq(o1) != hashSeq(oN) || len(o1) != len(oN) {
+		t.Errorf("omitted sequences differ: workers=1 len %d, workers=8 len %d", len(o1), len(oN))
+	}
+	if rst1 != rstN {
+		t.Errorf("restore stats differ: %+v vs %+v", rst1, rstN)
+	}
+	if ost1 != ostN {
+		t.Errorf("omit stats differ: %+v vs %+v", ost1, ostN)
+	}
+
+	// An externally supplied shared simulator must behave identically.
+	s := sim.NewSimulator(sc.Scan, 4)
+	rS, oS, _, _ := RestoreThenOmitOpts(sc.Scan, seq, faults, Options{Sim: s})
+	if hashSeq(rS) != hashSeq(r1) || hashSeq(oS) != hashSeq(o1) {
+		t.Error("shared-simulator run differs from private-simulator run")
+	}
+}

@@ -1,6 +1,9 @@
 package compact
 
 import (
+	"sync"
+	"sync/atomic"
+
 	"repro/internal/fault"
 	"repro/internal/logic"
 	"repro/internal/netlist"
@@ -22,6 +25,7 @@ const ckptStride = 32
 // its latest previous detection.
 type omitter struct {
 	c      *netlist.Circuit
+	sim    *sim.Simulator
 	faults []fault.Fault
 	cur    logic.Sequence
 	detAt  []int
@@ -33,6 +37,7 @@ type omitter struct {
 	batches []*omitBatch
 	scratch *sim.Machine // reused for batch replay
 	sims    int
+	steps   int64 // batch-vector simulation steps (see Stats.BatchSteps)
 }
 
 type omitBatch struct {
@@ -42,14 +47,19 @@ type omitBatch struct {
 }
 
 // newOmitter fault-simulates seq once, recording detection times,
-// per-position good data and per-batch checkpoints.
-func newOmitter(c *netlist.Circuit, seq logic.Sequence, faults []fault.Fault) *omitter {
+// per-position good data and per-batch checkpoints. The per-batch
+// replays are independent (each writes its own checkpoint list and a
+// disjoint slice of detAt), so they fan out across the simulator's
+// workers; the trial engine itself stays serial.
+func newOmitter(s *sim.Simulator, seq logic.Sequence, faults []fault.Fault) *omitter {
+	c := s.Circuit()
 	o := &omitter{
 		c:      c,
+		sim:    s,
 		faults: faults,
 		cur:    seq.Clone(),
 		detAt:  make([]int, len(faults)),
-		good:   sim.New(c),
+		good:   s.Acquire(),
 	}
 	for i := range o.detAt {
 		o.detAt[i] = sim.NotDetected
@@ -67,9 +77,11 @@ func newOmitter(c *netlist.Circuit, seq logic.Sequence, faults []fault.Fault) *o
 		o.goodPO[t] = row
 	}
 
-	m := sim.New(c)
-	o.scratch = sim.New(c)
-	for start := 0; start < len(faults); start += sim.Slots {
+	o.scratch = s.Acquire()
+	nBatches := (len(faults) + sim.Slots - 1) / sim.Slots
+	o.batches = make([]*omitBatch, nBatches)
+	initBatch := func(m *sim.Machine, bi int) {
+		start := bi * sim.Slots
 		end := start + sim.Slots
 		if end > len(faults) {
 			end = len(faults)
@@ -91,10 +103,47 @@ func newOmitter(c *netlist.Circuit, seq logic.Sequence, faults []fault.Fault) *o
 			m.Step(v)
 			detected |= o.detectStep(m, b, o.goodPO[t], detected, allMask, t)
 		}
-		o.batches = append(o.batches, b)
-		o.sims++
+		o.batches[bi] = b
 	}
+	nw := s.Workers()
+	if nw > nBatches {
+		nw = nBatches
+	}
+	if nw <= 1 {
+		m := s.Acquire()
+		for bi := 0; bi < nBatches; bi++ {
+			initBatch(m, bi)
+		}
+		s.Release(m)
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < nw; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				m := s.Acquire()
+				defer s.Release(m)
+				for {
+					bi := int(next.Add(1)) - 1
+					if bi >= nBatches {
+						return
+					}
+					initBatch(m, bi)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	o.sims += nBatches
+	o.steps += int64(nBatches) * int64(len(seq))
 	return o
+}
+
+// close returns the omitter's pooled machines to the simulator.
+func (o *omitter) close() {
+	o.sim.Release(o.good)
+	o.sim.Release(o.scratch)
 }
 
 func (o *omitter) batchMask(b *omitBatch) uint64 {
@@ -242,11 +291,13 @@ func (o *omitter) tryRemove(lo, hi, slack int) bool {
 		m.RestoreState(b.ckpts[j])
 		for t := j * ckptStride; t < lo; t++ {
 			m.Step(o.cur[t])
+			o.steps++
 		}
 		// Suffix with detection monitoring on the affected bits.
 		var detected uint64
 		for t := lo; t < bound; t++ {
 			m.Step(o.cur[t+removed])
+			o.steps++
 			row := getPO(t)
 			var newly uint64
 			for po := range row {

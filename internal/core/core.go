@@ -52,6 +52,9 @@ type Config struct {
 	// Chains selects the number of scan chains for the generation
 	// flow (0 or 1 = the paper's single chain).
 	Chains int
+	// Workers is the fault-simulation worker count used throughout the
+	// flow (0 = GOMAXPROCS). Results are identical for every value.
+	Workers int
 }
 
 // DefaultConfig returns the configuration the experiments use.
@@ -118,6 +121,9 @@ func RunGenerate(name string, cfg Config) (GenerateRow, *GenerateArtifacts, erro
 	if seqOpts.Seed == 0 {
 		seqOpts.Seed = cfg.Seed
 	}
+	if seqOpts.Workers == 0 {
+		seqOpts.Workers = cfg.Workers
+	}
 	gen := seqatpg.Generate(sc, faults, seqOpts)
 
 	art := &GenerateArtifacts{Scan: sc, Faults: faults, Gen: gen, Raw: gen.Sequence}
@@ -134,10 +140,14 @@ func RunGenerate(name string, cfg Config) (GenerateRow, *GenerateArtifacts, erro
 	}
 
 	if !cfg.SkipCompaction {
-		restored, rst := compact.Restore(cs, gen.Sequence, faults)
+		// One simulator (and so one machine pool) serves both compaction
+		// passes and the final extra-detection check.
+		s := sim.NewSimulator(cs, cfg.Workers)
+		copts := compact.Options{Sim: s}
+		restored, rst := compact.RestoreOpts(cs, gen.Sequence, faults, copts)
 		omitted, ost := restored, compact.Stats{BeforeLen: len(restored), AfterLen: len(restored)}
 		if cfg.OmitLenCap == 0 || len(restored) <= cfg.OmitLenCap {
-			omitted, ost = compact.Omit(cs, restored, faults)
+			omitted, ost = compact.OmitOpts(cs, restored, faults, copts)
 		}
 		art.Restored, art.Omitted = restored, omitted
 		art.RestoreStats, art.OmitStats = rst, ost
@@ -145,13 +155,16 @@ func RunGenerate(name string, cfg Config) (GenerateRow, *GenerateArtifacts, erro
 		row.RestorScan = countScan(sc, restored)
 		row.OmitLen = len(omitted)
 		row.OmitScan = countScan(sc, omitted)
-		row.ExtDet = extraDetections(sc, gen, omitted, faults)
+		row.ExtDet = extraDetections(s, gen, omitted, faults)
 	}
 
 	if !cfg.SkipBaseline {
 		baseOpts := cfg.Baseline
 		if baseOpts.Seed == 0 {
 			baseOpts.Seed = cfg.Seed
+		}
+		if baseOpts.Workers == 0 {
+			baseOpts.Workers = cfg.Workers
 		}
 		base := baseline.Generate(c, fault.Universe(c, cfg.Collapse), baseOpts)
 		art.Baseline = base
@@ -173,7 +186,7 @@ func countScan(sc scan.Design, seq logic.Sequence) int {
 
 // extraDetections counts faults the generator left undetected that the
 // final compacted sequence detects anyway (the paper's "ext det").
-func extraDetections(sc scan.Design, gen seqatpg.Result, final logic.Sequence, faults []fault.Fault) int {
+func extraDetections(s *sim.Simulator, gen seqatpg.Result, final logic.Sequence, faults []fault.Fault) int {
 	var sub []fault.Fault
 	for fi := range faults {
 		if gen.DetectedAt[fi] == sim.NotDetected {
@@ -183,7 +196,7 @@ func extraDetections(sc scan.Design, gen seqatpg.Result, final logic.Sequence, f
 	if len(sub) == 0 {
 		return 0
 	}
-	return sim.Run(sc.ScanCircuit(), final, sub, sim.Options{}).NumDetected()
+	return s.Run(final, sub, sim.Options{}).NumDetected()
 }
 
 // TranslateRow is one row of the paper's Table 7.
@@ -221,6 +234,9 @@ func RunTranslate(name string, cfg Config) (TranslateRow, *TranslateArtifacts, e
 	if baseOpts.Seed == 0 {
 		baseOpts.Seed = cfg.Seed
 	}
+	if baseOpts.Workers == 0 {
+		baseOpts.Workers = cfg.Workers
+	}
 	base := baseline.Generate(c, fault.Universe(c, cfg.Collapse), baseOpts)
 
 	seq, err := translate.Translate(sc, base.Tests, cfg.Seed^0x7A75)
@@ -236,10 +252,11 @@ func RunTranslate(name string, cfg Config) (TranslateRow, *TranslateArtifacts, e
 	}
 	art := &TranslateArtifacts{Scan: sc, Base: base, Translated: seq, ScanFaults: scanFaults}
 	if !cfg.SkipCompaction {
-		restored, _ := compact.Restore(sc.Scan, seq, scanFaults)
+		copts := compact.Options{Sim: sim.NewSimulator(sc.Scan, cfg.Workers)}
+		restored, _ := compact.RestoreOpts(sc.Scan, seq, scanFaults, copts)
 		omitted := restored
 		if cfg.OmitLenCap == 0 || len(restored) <= cfg.OmitLenCap {
-			omitted, _ = compact.Omit(sc.Scan, restored, scanFaults)
+			omitted, _ = compact.OmitOpts(sc.Scan, restored, scanFaults, copts)
 		}
 		art.Restored, art.Omitted = restored, omitted
 		row.RestorLen = len(restored)

@@ -12,6 +12,8 @@ package diagnose
 
 import (
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/fault"
 	"repro/internal/logic"
@@ -38,13 +40,23 @@ type Dictionary struct {
 
 // Build fault-simulates seq for every fault without fault dropping and
 // records complete failure signatures. Cost is one full-length pass per
-// 64 faults; build dictionaries once per released test set.
+// 64 faults; build dictionaries once per released test set. Batches run
+// on all available cores.
 func Build(c *netlist.Circuit, seq logic.Sequence, faults []fault.Fault) *Dictionary {
+	return BuildWith(sim.NewSimulator(c, 0), seq, faults)
+}
+
+// BuildWith is Build drawing machines from an existing simulator and
+// fanning the fault batches out across its workers. Signature writes
+// are disjoint per fault, so the dictionary is identical for every
+// worker count.
+func BuildWith(s *sim.Simulator, seq logic.Sequence, faults []fault.Fault) *Dictionary {
 	d := &Dictionary{Faults: faults, Signatures: make([]Signature, len(faults))}
 	if len(seq) == 0 || len(faults) == 0 {
 		return d
 	}
-	good := sim.New(c)
+	c := s.Circuit()
+	good := s.Acquire()
 	nPO := c.NumOutputs()
 	goodPO := make([][]logic.Value, len(seq))
 	for t, v := range seq {
@@ -55,8 +67,11 @@ func Build(c *netlist.Circuit, seq logic.Sequence, faults []fault.Fault) *Dictio
 		}
 		goodPO[t] = row
 	}
-	m := sim.New(c)
-	for start := 0; start < len(faults); start += sim.Slots {
+	s.Release(good)
+
+	nBatches := (len(faults) + sim.Slots - 1) / sim.Slots
+	runBatch := func(m *sim.Machine, bi int) {
+		start := bi * sim.Slots
 		end := start + sim.Slots
 		if end > len(faults) {
 			end = len(faults)
@@ -88,6 +103,36 @@ func Build(c *netlist.Circuit, seq logic.Sequence, faults []fault.Fault) *Dictio
 			}
 		}
 	}
+	nw := s.Workers()
+	if nw > nBatches {
+		nw = nBatches
+	}
+	if nw <= 1 {
+		m := s.Acquire()
+		for bi := 0; bi < nBatches; bi++ {
+			runBatch(m, bi)
+		}
+		s.Release(m)
+		return d
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m := s.Acquire()
+			defer s.Release(m)
+			for {
+				bi := int(next.Add(1)) - 1
+				if bi >= nBatches {
+					return
+				}
+				runBatch(m, bi)
+			}
+		}()
+	}
+	wg.Wait()
 	return d
 }
 

@@ -49,6 +49,10 @@ type Options struct {
 	// paper's procedure does not use one (its sequences are compacted
 	// afterwards anyway), so the default is 0.
 	RandomPhase int
+	// Workers is the fault-simulation worker count for stepping the
+	// incremental fault batches (0 = GOMAXPROCS). The generated
+	// sequence is identical for every value.
+	Workers int
 }
 
 func (o Options) withDefaults(nsv int) Options {
@@ -114,7 +118,9 @@ func (r Result) NumFunct() int {
 func Generate(sc scan.Design, faults []fault.Fault, opts Options) Result {
 	opts = opts.withDefaults(sc.NumStateVars())
 	c := sc.ScanCircuit()
-	mgr := NewManager(c, faults)
+	s := sim.NewSimulator(c, opts.Workers)
+	mgr := NewManagerSim(s, faults)
+	defer mgr.Close()
 	pod := combatpg.NewGenerator(c, combatpg.Options{
 		ObservePPO:    true,
 		MaxBacktracks: opts.PodemBacktracks,
@@ -128,7 +134,8 @@ func Generate(sc scan.Design, faults []fault.Fault, opts Options) Result {
 		MaxBacktracks: 10 * opts.PodemBacktracks,
 	})
 	rng := logic.NewRandFiller(opts.Seed ^ 0xA5A5A5A5)
-	a := newAttempter(sc, opts)
+	a := newAttempter(sc, opts, s)
+	defer a.close()
 
 	var seq logic.Sequence
 	funct := make([]bool, len(faults))
@@ -163,11 +170,12 @@ func Generate(sc scan.Design, faults []fault.Fault, opts Options) Result {
 	return Result{Sequence: seq, DetectedAt: mgr.DetectedAt, Funct: funct}
 }
 
-// attempter holds the per-attempt machinery (two simulation machines)
-// reused across faults.
+// attempter holds the per-attempt machinery (two simulation machines,
+// drawn from the simulator's pool) reused across faults.
 type attempter struct {
 	sc   scan.Design
 	opts Options
+	sim  *sim.Simulator
 	mg   *sim.Machine // fault-free
 	mf   *sim.Machine // with the target fault in every slot
 	// flushLen[f] caches sc.FlushLength(f); depthBonus[f] rewards
@@ -176,14 +184,15 @@ type attempter struct {
 	depthBonus []int64
 }
 
-func newAttempter(sc scan.Design, opts Options) *attempter {
-	c := sc.ScanCircuit()
+func newAttempter(sc scan.Design, opts Options, s *sim.Simulator) *attempter {
 	a := &attempter{
 		sc:   sc,
 		opts: opts,
-		mg:   sim.New(c),
-		mf:   sim.New(c),
+		sim:  s,
+		mg:   s.Acquire(),
+		mf:   s.Acquire(),
 	}
+	c := sc.ScanCircuit()
 	nsv := sc.NumStateVars()
 	a.flushLen = make([]int, c.NumFFs())
 	a.depthBonus = make([]int64, c.NumFFs())
@@ -192,6 +201,12 @@ func newAttempter(sc scan.Design, opts Options) *attempter {
 		a.depthBonus[f] = int64(500*(nsv-a.flushLen[f])) / int64(nsv)
 	}
 	return a
+}
+
+// close returns the attempter's machines to the simulator pool.
+func (a *attempter) close() {
+	a.sim.Release(a.mg)
+	a.sim.Release(a.mf)
 }
 
 // attempt tries to generate a subsequence detecting f starting from the

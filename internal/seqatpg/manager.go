@@ -1,11 +1,19 @@
 package seqatpg
 
 import (
+	"sync"
+	"sync/atomic"
+
 	"repro/internal/fault"
 	"repro/internal/logic"
 	"repro/internal/netlist"
 	"repro/internal/sim"
 )
+
+// minParallelBatches is the smallest number of fault batches for which
+// Append fans stepping out across workers; below it the goroutine
+// hand-off costs more than the stepping.
+const minParallelBatches = 8
 
 // faultBatch carries up to 64 faults through the growing test sequence
 // in one bit-parallel machine, so appending a vector costs a single
@@ -15,12 +23,14 @@ type faultBatch struct {
 	m      *sim.Machine
 	global []int  // global fault indices, slot-aligned
 	alive  uint64 // slots not yet detected
+	newly  []int  // per-Append scratch: indices detected this vector
 }
 
 // Manager tracks the good circuit state and every undetected fault's
 // faulty state as the test sequence grows vector by vector.
 type Manager struct {
 	c       *netlist.Circuit
+	sim     *sim.Simulator
 	faults  []fault.Fault
 	good    *sim.Machine
 	batches []*faultBatch
@@ -31,12 +41,21 @@ type Manager struct {
 }
 
 // NewManager builds a Manager over the full fault list with the
-// sequence empty and every flip-flop at X.
+// sequence empty and every flip-flop at X, using a private single-
+// worker simulator.
 func NewManager(c *netlist.Circuit, faults []fault.Fault) *Manager {
+	return NewManagerSim(sim.NewSimulator(c, 1), faults)
+}
+
+// NewManagerSim is NewManager drawing machines from (and stepping fault
+// batches across the workers of) an existing simulator. Call Close when
+// the manager is no longer needed to return its machines to the pool.
+func NewManagerSim(s *sim.Simulator, faults []fault.Fault) *Manager {
 	mgr := &Manager{
-		c:          c,
+		c:          s.Circuit(),
+		sim:        s,
 		faults:     faults,
-		good:       sim.New(c),
+		good:       s.Acquire(),
 		DetectedAt: make([]int, len(faults)),
 	}
 	for i := range mgr.DetectedAt {
@@ -47,7 +66,7 @@ func NewManager(c *netlist.Circuit, faults []fault.Fault) *Manager {
 		if end > len(faults) {
 			end = len(faults)
 		}
-		b := &faultBatch{m: sim.New(c)}
+		b := &faultBatch{m: s.Acquire()}
 		for k := start; k < end; k++ {
 			b.global = append(b.global, k)
 			if err := b.m.InjectFault(faults[k], uint64(1)<<uint(k-start)); err != nil {
@@ -58,6 +77,16 @@ func NewManager(c *netlist.Circuit, faults []fault.Fault) *Manager {
 		mgr.batches = append(mgr.batches, b)
 	}
 	return mgr
+}
+
+// Close returns the manager's machines to the simulator pool. The
+// manager must not be used afterwards; DetectedAt stays valid.
+func (mgr *Manager) Close() {
+	mgr.sim.Release(mgr.good)
+	for _, b := range mgr.batches {
+		mgr.sim.Release(b.m)
+	}
+	mgr.batches = nil
 }
 
 // Len returns the number of vectors appended so far.
@@ -93,7 +122,9 @@ func (mgr *Manager) locate(i int) (*faultBatch, int) {
 
 // Append applies one vector to the good machine and every batch,
 // recording new detections at the current time index. It returns the
-// global indices of newly detected faults.
+// global indices of newly detected faults. Batches step concurrently
+// when the simulator has spare workers; detections are reassembled in
+// batch order, so the result is identical to serial stepping.
 func (mgr *Manager) Append(v logic.Vector) []int {
 	mgr.good.Step(v)
 	nPO := mgr.c.NumOutputs()
@@ -101,36 +132,76 @@ func (mgr *Manager) Append(v logic.Vector) []int {
 	for po := 0; po < nPO; po++ {
 		goodVals[po] = mgr.good.OutputSlot(po, 0)
 	}
+	nw := mgr.sim.Workers()
+	if nw > len(mgr.batches) {
+		nw = len(mgr.batches)
+	}
+	if nw <= 1 || len(mgr.batches) < minParallelBatches {
+		var newly []int
+		for _, b := range mgr.batches {
+			newly = append(newly, mgr.stepBatch(b, v, goodVals)...)
+		}
+		mgr.now++
+		return newly
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				bi := int(next.Add(1)) - 1
+				if bi >= len(mgr.batches) {
+					return
+				}
+				b := mgr.batches[bi]
+				b.newly = mgr.stepBatch(b, v, goodVals)
+			}
+		}()
+	}
+	wg.Wait()
 	var newly []int
 	for _, b := range mgr.batches {
-		if b.alive == 0 {
-			// Detected batches still step so their state stays
-			// meaningful, but cheaply skipping them is safe because
-			// no one asks for a detected fault's state.
-			continue
-		}
-		b.m.Step(v)
-		var det uint64
-		for po := 0; po < nPO; po++ {
-			if !goodVals[po].IsBinary() {
-				continue
-			}
-			gz, gd := valuePlanes(goodVals[po])
-			fz, fd := b.m.OutputPlanes(po)
-			det |= sim.DetectMask(gz, gd, fz, fd)
-		}
-		det &= b.alive
-		if det != 0 {
-			b.alive &^= det
-			for k, gi := range b.global {
-				if det&(uint64(1)<<uint(k)) != 0 {
-					mgr.DetectedAt[gi] = mgr.now
-					newly = append(newly, gi)
-				}
-			}
-		}
+		newly = append(newly, b.newly...)
+		b.newly = nil
 	}
 	mgr.now++
+	return newly
+}
+
+// stepBatch advances one batch by v and records its new detections,
+// returning their global indices. DetectedAt writes are disjoint across
+// batches, so stepBatch may run concurrently for different batches.
+func (mgr *Manager) stepBatch(b *faultBatch, v logic.Vector, goodVals []logic.Value) []int {
+	if b.alive == 0 {
+		// Detected batches still step so their state stays
+		// meaningful, but cheaply skipping them is safe because
+		// no one asks for a detected fault's state.
+		return nil
+	}
+	b.m.Step(v)
+	var det uint64
+	for po := range goodVals {
+		if !goodVals[po].IsBinary() {
+			continue
+		}
+		gz, gd := valuePlanes(goodVals[po])
+		fz, fd := b.m.OutputPlanes(po)
+		det |= sim.DetectMask(gz, gd, fz, fd)
+	}
+	det &= b.alive
+	if det == 0 {
+		return nil
+	}
+	b.alive &^= det
+	var newly []int
+	for k, gi := range b.global {
+		if det&(uint64(1)<<uint(k)) != 0 {
+			mgr.DetectedAt[gi] = mgr.now
+			newly = append(newly, gi)
+		}
+	}
 	return newly
 }
 

@@ -40,9 +40,11 @@ func (r TransitionResult) NumDetected() int {
 func GenerateTransition(sc scan.Design, faults []transition.Fault, opts Options) TransitionResult {
 	opts = opts.withDefaults(sc.NumStateVars())
 	c := sc.ScanCircuit()
+	s := sim.NewSimulator(c, opts.Workers)
 	mgr := newTransManager(c, faults)
 	rng := logic.NewRandFiller(opts.Seed ^ 0x7452414E)
-	a := newAttempter(sc, opts)
+	a := newAttempter(sc, opts, s)
+	defer a.close()
 
 	var seq logic.Sequence
 	for pass := 0; pass < opts.Passes; pass++ {

@@ -14,6 +14,11 @@ const NotDetected = -1
 // primary output, or NotDetected.
 type Result struct {
 	DetectedAt []int
+	// BatchSteps counts the units of fault-simulation work performed:
+	// one unit is one 64-fault batch advanced by one vector. Each batch
+	// stops at its own last first-detection, so the count reflects the
+	// early exit; it is deterministic and independent of worker count.
+	BatchSteps int64
 }
 
 // NumDetected counts detected faults.
@@ -43,108 +48,22 @@ type Options struct {
 // scan_out): the faulty value must be binary and opposite to a binary
 // good value.
 //
-// The good machine and every fault batch advance in lockstep, one
-// vector at a time, and the whole run stops as soon as every fault is
-// detected — test compaction issues millions of these runs, and most
-// conclude long before the end of the sequence.
+// Each fault batch advances one vector at a time against the shared
+// fault-free output trace and stops at its own last first-detection —
+// test compaction issues millions of these runs, and most conclude long
+// before the end of the sequence. Run is a thin single-worker wrapper
+// over Simulator.Run; construct a Simulator directly to reuse its
+// machine pool across calls or to fan batches out across cores.
 func Run(c *netlist.Circuit, seq logic.Sequence, faults []fault.Fault, opts Options) Result {
-	res := Result{DetectedAt: make([]int, len(faults))}
-	for i := range res.DetectedAt {
-		res.DetectedAt[i] = NotDetected
-	}
-	if len(seq) == 0 || len(faults) == 0 {
-		return res
-	}
-
-	good := New(c)
-	if opts.InitialState != nil {
-		good.SetStateBroadcast(opts.InitialState)
-	}
-	type batchState struct {
-		m        *Machine
-		start    int
-		n        int
-		detected uint64
-		allMask  uint64
-	}
-	var batches []*batchState
-	for start := 0; start < len(faults); start += Slots {
-		end := start + Slots
-		if end > len(faults) {
-			end = len(faults)
-		}
-		b := &batchState{m: New(c), start: start, n: end - start}
-		if opts.InitialState != nil {
-			b.m.SetStateBroadcast(opts.InitialState)
-		}
-		for k, f := range faults[start:end] {
-			// Injection errors indicate a site inconsistent with
-			// the circuit; Universe never produces one.
-			if err := b.m.InjectFault(f, uint64(1)<<uint(k)); err != nil {
-				panic(err)
-			}
-		}
-		b.allMask = AllSlots
-		if b.n < Slots {
-			b.allMask = (uint64(1) << uint(b.n)) - 1
-		}
-		batches = append(batches, b)
-	}
-
-	nPO := c.NumOutputs()
-	remaining := len(batches)
-	goodVals := make([]logic.Value, nPO)
-	for t, v := range seq {
-		good.Step(v)
-		for po := 0; po < nPO; po++ {
-			goodVals[po] = good.OutputSlot(po, 0)
-		}
-		for _, b := range batches {
-			if b.detected == b.allMask {
-				continue
-			}
-			b.m.Step(v)
-			for po := 0; po < nPO; po++ {
-				if !goodVals[po].IsBinary() {
-					continue
-				}
-				gz, gd := broadcast(goodVals[po])
-				fz, fd := b.m.OutputPlanes(po)
-				newly := DetectMask(gz, gd, fz, fd) &^ b.detected & b.allMask
-				if newly == 0 {
-					continue
-				}
-				b.detected |= newly
-				for k := 0; k < b.n; k++ {
-					if newly&(uint64(1)<<uint(k)) != 0 {
-						res.DetectedAt[b.start+k] = t
-					}
-				}
-				if b.detected == b.allMask {
-					remaining--
-				}
-			}
-		}
-		if remaining == 0 {
-			break
-		}
-	}
-	return res
+	return NewSimulator(c, 1).Run(seq, faults, opts)
 }
 
 // RunSubset is Run restricted to the fault indices in subset; the
-// returned map gives detection cycles for the subset only.
+// returned map gives detection cycles for the subset only. Callers in
+// tight loops should use Simulator.RunSubset, which reuses a machine
+// pool and accepts caller-provided buffers.
 func RunSubset(c *netlist.Circuit, seq logic.Sequence, faults []fault.Fault, subset []int, opts Options) map[int]int {
-	sub := make([]fault.Fault, len(subset))
-	for i, fi := range subset {
-		sub[i] = faults[fi]
-	}
-	r := Run(c, seq, sub, opts)
-	out := make(map[int]int, len(subset))
-	for i, fi := range subset {
-		out[fi] = r.DetectedAt[i]
-	}
-	return out
+	return NewSimulator(c, 1).RunSubset(seq, faults, subset, opts, nil, nil)
 }
 
 // GoodTrace simulates seq fault-free and returns the flip-flop state

@@ -58,6 +58,47 @@ func BenchmarkStepFaulty(b *testing.B) {
 	}
 }
 
+// BenchmarkSimulatorParallel measures whole-universe fault simulation
+// through the Simulator at several worker counts on the largest catalog
+// circuit. The serial sub-benchmark is the pre-pool baseline shape (one
+// worker, machines still pooled); results are bit-identical across
+// worker counts, only wall-clock changes.
+func BenchmarkSimulatorParallel(b *testing.B) {
+	c, err := circuits.Load("s35932")
+	if err != nil {
+		b.Fatal(err)
+	}
+	faults := fault.Universe(c, true)
+	rng := logic.NewRandFiller(7)
+	seq := make(logic.Sequence, 32)
+	for i := range seq {
+		v := make(logic.Vector, c.NumInputs())
+		for j := range v {
+			v[j] = rng.Next()
+		}
+		seq[i] = v
+	}
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{
+		{"serial", 1},
+		{"workers2", 2},
+		{"workers4", 4},
+		{"allcores", 0},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			s := NewSimulator(c, bc.workers)
+			b.ResetTimer()
+			var det int
+			for i := 0; i < b.N; i++ {
+				det = s.Run(seq, faults, Options{}).NumDetected()
+			}
+			b.ReportMetric(float64(det), "detected")
+		})
+	}
+}
+
 // BenchmarkRun measures whole-sequence fault simulation with batching
 // and early exit.
 func BenchmarkRun(b *testing.B) {

@@ -1,0 +1,243 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/fault"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+// Simulator owns a pool of reusable Machines for one circuit and fans
+// fault batches out across worker goroutines. Test compaction issues
+// millions of Run calls; reusing one Simulator across a whole
+// compaction loop replaces per-call machine allocation with pool
+// checkouts, and multi-batch runs spread across cores.
+//
+// Results are bit-identical to serial simulation: every fault batch is
+// independent given the fault-free output trace, so worker count and
+// scheduling change wall-clock time only, never DetectedAt. A Simulator
+// is safe for concurrent use by multiple goroutines.
+type Simulator struct {
+	c       *netlist.Circuit
+	workers int
+	pool    sync.Pool
+}
+
+// NewSimulator returns a Simulator for circuit c running fault batches
+// on up to workers goroutines; workers <= 0 selects
+// runtime.GOMAXPROCS(0).
+func NewSimulator(c *netlist.Circuit, workers int) *Simulator {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Simulator{c: c, workers: workers}
+}
+
+// Circuit returns the circuit this Simulator simulates.
+func (s *Simulator) Circuit() *netlist.Circuit { return s.c }
+
+// Workers returns the configured worker count.
+func (s *Simulator) Workers() int { return s.workers }
+
+// Acquire checks a Machine out of the pool, cleared of faults and with
+// every flip-flop reset to X — indistinguishable from a fresh New.
+// Return it with Release when done.
+func (s *Simulator) Acquire() *Machine {
+	if v := s.pool.Get(); v != nil {
+		m := v.(*Machine)
+		m.ClearFaults()
+		m.Reset()
+		return m
+	}
+	return New(s.c)
+}
+
+// Release returns a Machine obtained from Acquire to the pool.
+func (s *Simulator) Release(m *Machine) { s.pool.Put(m) }
+
+// goodTrace computes the fault-free primary-output trace of a sequence
+// lazily and shares it between batch workers: rows[t] is produced at
+// most once, under the mutex, and published through the atomic counter
+// so warm reads take no lock. Lazy extension preserves the serial
+// path's early exit — the good machine advances only as far as the
+// slowest batch actually needs.
+type goodTrace struct {
+	seq      logic.Sequence
+	m        *Machine
+	nPO      int
+	mu       sync.Mutex
+	produced atomic.Int64
+	rows     [][]logic.Value
+}
+
+func (s *Simulator) newTrace(seq logic.Sequence, opts Options) *goodTrace {
+	tr := &goodTrace{
+		seq:  seq,
+		m:    s.Acquire(),
+		nPO:  s.c.NumOutputs(),
+		rows: make([][]logic.Value, len(seq)),
+	}
+	if opts.InitialState != nil {
+		tr.m.SetStateBroadcast(opts.InitialState)
+	}
+	return tr
+}
+
+// row returns the fault-free output values at vector t, extending the
+// trace if needed.
+func (tr *goodTrace) row(t int) []logic.Value {
+	if int64(t) < tr.produced.Load() {
+		return tr.rows[t]
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	for p := int(tr.produced.Load()); p <= t; p++ {
+		tr.m.Step(tr.seq[p])
+		row := make([]logic.Value, tr.nPO)
+		for po := range row {
+			row[po] = tr.m.OutputSlot(po, 0)
+		}
+		tr.rows[p] = row
+		tr.produced.Store(int64(p + 1))
+	}
+	return tr.rows[t]
+}
+
+func (tr *goodTrace) release(s *Simulator) { s.Release(tr.m) }
+
+// Run fault-simulates seq against faults exactly like the package-level
+// Run, using the machine pool and up to Workers() goroutines (one fault
+// batch of 64 at a time per worker). Detection results and BatchSteps
+// are identical for every worker count.
+func (s *Simulator) Run(seq logic.Sequence, faults []fault.Fault, opts Options) Result {
+	res := Result{DetectedAt: make([]int, len(faults))}
+	for i := range res.DetectedAt {
+		res.DetectedAt[i] = NotDetected
+	}
+	if len(seq) == 0 || len(faults) == 0 {
+		return res
+	}
+	tr := s.newTrace(seq, opts)
+	defer tr.release(s)
+
+	nBatches := (len(faults) + Slots - 1) / Slots
+	nw := s.workers
+	if nw > nBatches {
+		nw = nBatches
+	}
+	if nw <= 1 {
+		m := s.Acquire()
+		for bi := 0; bi < nBatches; bi++ {
+			res.BatchSteps += s.runBatch(m, tr, seq, faults, bi*Slots, opts, res.DetectedAt)
+		}
+		s.Release(m)
+		return res
+	}
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	steps := make([]int64, nw)
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			m := s.Acquire()
+			defer s.Release(m)
+			for {
+				bi := int(next.Add(1)) - 1
+				if bi >= nBatches {
+					return
+				}
+				// Batches write disjoint DetectedAt indices, so no
+				// synchronization beyond the WaitGroup is needed.
+				steps[w] += s.runBatch(m, tr, seq, faults, bi*Slots, opts, res.DetectedAt)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, n := range steps {
+		res.BatchSteps += n
+	}
+	return res
+}
+
+// runBatch simulates the 64-fault batch starting at fault index start
+// through seq, recording first detections into out, and exits as soon
+// as every fault of the batch is detected. It returns the number of
+// batch steps executed.
+func (s *Simulator) runBatch(m *Machine, tr *goodTrace, seq logic.Sequence, faults []fault.Fault, start int, opts Options, out []int) int64 {
+	end := start + Slots
+	if end > len(faults) {
+		end = len(faults)
+	}
+	n := end - start
+	m.ClearFaults()
+	m.Reset()
+	if opts.InitialState != nil {
+		m.SetStateBroadcast(opts.InitialState)
+	}
+	for k, f := range faults[start:end] {
+		// Injection errors indicate a site inconsistent with the
+		// circuit; Universe never produces one.
+		if err := m.InjectFault(f, uint64(1)<<uint(k)); err != nil {
+			panic(err)
+		}
+	}
+	allMask := AllSlots
+	if n < Slots {
+		allMask = (uint64(1) << uint(n)) - 1
+	}
+	var detected uint64
+	var steps int64
+	nPO := tr.nPO
+	for t := range seq {
+		row := tr.row(t)
+		m.Step(seq[t])
+		steps++
+		for po := 0; po < nPO; po++ {
+			if !row[po].IsBinary() {
+				continue
+			}
+			gz, gd := broadcast(row[po])
+			fz, fd := m.OutputPlanes(po)
+			newly := DetectMask(gz, gd, fz, fd) &^ detected & allMask
+			if newly == 0 {
+				continue
+			}
+			detected |= newly
+			for k := 0; k < n; k++ {
+				if newly&(uint64(1)<<uint(k)) != 0 {
+					out[start+k] = t
+				}
+			}
+		}
+		if detected == allMask {
+			break
+		}
+	}
+	return steps
+}
+
+// RunSubset is Run restricted to the fault indices in subset. buf, when
+// non-nil, is reused as scratch for the gathered faults, and out, when
+// non-nil, is cleared and reused for the result — both avoid per-call
+// allocation in tight trial loops.
+func (s *Simulator) RunSubset(seq logic.Sequence, faults []fault.Fault, subset []int, opts Options, buf []fault.Fault, out map[int]int) map[int]int {
+	buf = buf[:0]
+	for _, fi := range subset {
+		buf = append(buf, faults[fi])
+	}
+	r := s.Run(seq, buf, opts)
+	if out == nil {
+		out = make(map[int]int, len(subset))
+	} else {
+		clear(out)
+	}
+	for i, fi := range subset {
+		out[fi] = r.DetectedAt[i]
+	}
+	return out
+}

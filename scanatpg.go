@@ -203,6 +203,21 @@ func Simulate(c *Circuit, seq Sequence, faults []Fault) []int {
 	return sim.Run(c, seq, faults, sim.Options{}).DetectedAt
 }
 
+// Simulator owns a reusable pool of bit-parallel fault-simulation
+// machines for one circuit and fans fault batches out across worker
+// goroutines. Detection results are bit-identical for every worker
+// count; only wall-clock time changes.
+type Simulator = sim.Simulator
+
+// SimOptions configures a Simulator.Run call (initial flip-flop state;
+// the zero value is the paper's all-X power-up model).
+type SimOptions = sim.Options
+
+// NewSimulator builds a Simulator for c with the given worker count
+// (<= 0 selects GOMAXPROCS). A Simulator is safe for concurrent use and
+// amortizes machine allocation across many simulation calls.
+func NewSimulator(c *Circuit, workers int) *Simulator { return sim.NewSimulator(c, workers) }
+
 // FirstApproachTestSet generates a conventional first-approach test set
 // (one combinational PODEM test per fault, state fully controllable,
 // next state observable) on the original circuit, as scan tests with a
