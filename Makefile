@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: build test race vet bench clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# bench runs the fault-simulation benchmarks and writes a
+# machine-readable summary (ns/op, allocs/op, batchsteps, fastfwd, ...)
+# to BENCH_sim.json via cmd/benchjson. -benchtime can be overridden:
+#   make bench BENCHTIME=10x
+BENCHTIME ?= 1s
+
+bench:
+	{ $(GO) test -run '^$$' -bench 'FaultSimScan|RunSubsetScan|Run$$|StepClean|StepFaulty' \
+		-benchmem -benchtime $(BENCHTIME) ./internal/sim/ && \
+	  $(GO) test -run '^$$' -bench 'Compaction' -benchmem -benchtime 1x ./internal/compact/ ; } | \
+		tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_sim.json
+
+clean:
+	rm -f BENCH_sim.json

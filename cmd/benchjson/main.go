@@ -1,0 +1,80 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// machine-readable JSON array on stdout, one object per benchmark
+// result line:
+//
+//	[{"name": "FaultSimScan/s298/event", "iterations": 5,
+//	  "metrics": {"ns/op": 2068259, "batchsteps": 1015, ...}}, ...]
+//
+// Non-benchmark lines (headers, PASS/ok trailers) are ignored, so the
+// raw output of `go test -bench ... | benchjson` works directly. See
+// `make bench`, which uses it to produce BENCH_sim.json.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+func main() {
+	var results []result
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		if r, ok := parseLine(sc.Text()); ok {
+			results = append(results, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parseLine parses one benchmark result line of the form
+//
+//	BenchmarkName-8   123   4567 ns/op   89 B/op   2 allocs/op   3 custom
+//
+// (value/unit pairs after the iteration count, go test's standard
+// format including b.ReportMetric units).
+func parseLine(line string) (result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return result{}, false
+	}
+	name := strings.TrimPrefix(fields[0], "Benchmark")
+	// Strip the -GOMAXPROCS suffix go test appends to the name.
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return result{}, false
+	}
+	r := result{Name: name, Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return result{}, false
+		}
+		r.Metrics[fields[i+1]] = v
+	}
+	return r, len(r.Metrics) > 0
+}

@@ -16,6 +16,7 @@ import (
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/prof"
 	"repro/internal/report"
 )
 
@@ -34,7 +35,17 @@ func main() {
 		outFile    = flag.String("out", "", "with -circuit: write the (compacted) sequence to this file")
 		verbose    = flag.Bool("v", false, "progress to stderr")
 	)
+	pf := prof.Register()
 	flag.Parse()
+	if err := pf.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "scangen:", err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := pf.Stop(); err != nil {
+			fmt.Fprintln(os.Stderr, "scangen:", err)
+		}
+	}()
 
 	cfg := core.DefaultConfig()
 	cfg.Seed = *seed

@@ -20,6 +20,7 @@ import (
 	"repro/internal/diagnose"
 	"repro/internal/fault"
 	"repro/internal/logic"
+	"repro/internal/prof"
 	"repro/internal/scan"
 	"repro/internal/seqatpg"
 	"repro/internal/sim"
@@ -40,8 +41,28 @@ func main() {
 		verify     = flag.Bool("verify", false, "validate the sequence's structure (width, fully specified)")
 		trans      = flag.Bool("transition", false, "also grade the sequence for gross-delay transition faults")
 		workers    = flag.Int("workers", 0, "fault-simulation worker count (0 = all cores; results are identical for every value)")
+		kernel     = flag.String("kernel", "event", "fault-simulation kernel: event or full (results are identical)")
 	)
+	pf := prof.Register()
 	flag.Parse()
+	var simOpts sim.Options
+	switch *kernel {
+	case "event":
+		simOpts.Kernel = sim.KernelEvent
+	case "full":
+		simOpts.Kernel = sim.KernelFull
+	default:
+		fmt.Fprintf(os.Stderr, "scansim: unknown -kernel %q (want event or full)\n", *kernel)
+		os.Exit(2)
+	}
+	if err := pf.Start(); err != nil {
+		fail(err)
+	}
+	defer func() {
+		if err := pf.Stop(); err != nil {
+			fmt.Fprintln(os.Stderr, "scansim:", err)
+		}
+	}()
 	if *circuit == "" || (*seqFile == "" && !*gen) {
 		fmt.Fprintln(os.Stderr, "scansim: need -circuit NAME and (-seq FILE or -gen)")
 		flag.Usage()
@@ -87,7 +108,7 @@ func main() {
 		fmt.Println("sequence structure: OK (widths match, fully specified)")
 	}
 	sm := sim.NewSimulator(sc.Scan, *workers)
-	res := sm.Run(seq, faults, sim.Options{})
+	res := sm.Run(seq, faults, simOpts)
 	det := res.NumDetected()
 	fmt.Printf("circuit %s_scan: %d inputs, %d state variables\n",
 		*circuit, sc.Scan.NumInputs(), sc.NSV)

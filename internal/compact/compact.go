@@ -126,7 +126,8 @@ func RestoreOpts(c *netlist.Circuit, seq logic.Sequence, faults []fault.Fault, o
 	// only re-confirm a flag that never goes back to false.
 	covered := make([]bool, len(faults))
 	group := make([]int, 0, sim.Slots)
-	sub := make([]fault.Fault, 0, sim.Slots)
+	fbuf := make([]fault.Fault, 0, sim.Slots)
+	detBuf := make([]int, 0, sim.Slots)
 	for pos := 0; pos < len(order); pos++ {
 		fi := order[pos]
 		if !covered[fi] {
@@ -136,16 +137,15 @@ func RestoreOpts(c *netlist.Circuit, seq logic.Sequence, faults []fault.Fault, o
 			if end > len(order) {
 				end = len(order)
 			}
-			group, sub = group[:0], sub[:0]
+			group = group[:0]
 			for _, gi := range order[pos:end] {
 				if covered[gi] {
 					continue
 				}
 				group = append(group, gi)
-				sub = append(sub, faults[gi])
 			}
 			st.Simulations++
-			r := s.Run(build(), sub, sim.Options{})
+			r := s.RunSubset(build(), faults, group, sim.Options{}, fbuf, detBuf)
 			st.BatchSteps += r.BatchSteps
 			for i, gi := range group {
 				if r.Detected(i) {
@@ -264,12 +264,8 @@ func countExtra(s *sim.Simulator, out logic.Sequence, faults []fault.Fault, base
 	if len(undetected) == 0 {
 		return 0
 	}
-	sub := make([]fault.Fault, len(undetected))
-	for i, fi := range undetected {
-		sub[i] = faults[fi]
-	}
 	st.Simulations++
-	r := s.Run(out, sub, sim.Options{})
+	r := s.RunSubset(out, faults, undetected, sim.Options{}, nil, nil)
 	st.BatchSteps += r.BatchSteps
 	return r.NumDetected()
 }

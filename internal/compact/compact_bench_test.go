@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/circuits"
 	"repro/internal/fault"
+	"repro/internal/logic"
 	"repro/internal/scan"
 	"repro/internal/seqatpg"
 )
@@ -27,20 +28,26 @@ func BenchmarkCompaction(b *testing.B) {
 
 	b.Run("restore-only", func(b *testing.B) {
 		var n int
+		var st Stats
 		for i := 0; i < b.N; i++ {
-			out, _ := Restore(sc.Scan, gen.Sequence, faults)
+			var out logic.Sequence
+			out, st = Restore(sc.Scan, gen.Sequence, faults)
 			n = len(out)
 		}
 		b.ReportMetric(float64(len(gen.Sequence)), "raw_cycles")
 		b.ReportMetric(float64(n), "cycles")
+		b.ReportMetric(float64(st.BatchSteps), "batchsteps")
 	})
 	b.Run("omit-only", func(b *testing.B) {
 		var n int
+		var st Stats
 		for i := 0; i < b.N; i++ {
-			out, _ := Omit(sc.Scan, gen.Sequence, faults)
+			var out logic.Sequence
+			out, st = Omit(sc.Scan, gen.Sequence, faults)
 			n = len(out)
 		}
 		b.ReportMetric(float64(n), "cycles")
+		b.ReportMetric(float64(st.BatchSteps), "batchsteps")
 	})
 	b.Run("restore-then-omit", func(b *testing.B) {
 		var n int

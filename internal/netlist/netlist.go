@@ -12,6 +12,7 @@ package netlist
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // GateType enumerates the supported combinational gate functions.
@@ -131,6 +132,14 @@ type Circuit struct {
 	byName map[string]SignalID
 	// fanout[s] lists the reader pins of signal s.
 	fanout [][]PinRef
+	// fanoutGates[s] lists the distinct reader gates of signal s in
+	// (level, index) order; see FanoutGates.
+	fanoutGates [][]int32
+
+	// coneCache memoizes per-signal transitive output cones; see
+	// OutputCone.
+	coneMu    sync.RWMutex
+	coneCache [][]uint64
 }
 
 // PinRef identifies one reading pin: input pin Pin of gate Gate, the D
@@ -349,6 +358,8 @@ func (b *Builder) Build() (*Circuit, error) {
 		return nil, err
 	}
 	c.buildFanout()
+	c.buildFanoutGates()
+	c.coneCache = make([][]uint64, len(c.Signals))
 	return c, nil
 }
 

@@ -1,0 +1,67 @@
+// Package prof wires the conventional -cpuprofile / -memprofile flags
+// into a command so kernel work is measurable with pprof.
+package prof
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Flags holds the registered profiling flags of one command.
+type Flags struct {
+	cpu, mem *string
+	cpuFile  *os.File
+}
+
+// Register installs -cpuprofile and -memprofile on the default flag
+// set. Call before flag.Parse.
+func Register() *Flags {
+	return &Flags{
+		cpu: flag.String("cpuprofile", "", "write a CPU profile to this file"),
+		mem: flag.String("memprofile", "", "write a heap profile to this file on exit"),
+	}
+}
+
+// Start begins CPU profiling when -cpuprofile was given. Call after
+// flag.Parse.
+func (f *Flags) Start() error {
+	if *f.cpu == "" {
+		return nil
+	}
+	file, err := os.Create(*f.cpu)
+	if err != nil {
+		return fmt.Errorf("prof: %w", err)
+	}
+	if err := pprof.StartCPUProfile(file); err != nil {
+		file.Close()
+		return fmt.Errorf("prof: %w", err)
+	}
+	f.cpuFile = file
+	return nil
+}
+
+// Stop finishes the CPU profile and writes the heap profile when
+// requested; defer it right after a successful Start.
+func (f *Flags) Stop() error {
+	if f.cpuFile != nil {
+		pprof.StopCPUProfile()
+		f.cpuFile.Close()
+		f.cpuFile = nil
+	}
+	if *f.mem == "" {
+		return nil
+	}
+	file, err := os.Create(*f.mem)
+	if err != nil {
+		return fmt.Errorf("prof: %w", err)
+	}
+	defer file.Close()
+	runtime.GC() // settle the heap so the profile reflects live data
+	if err := pprof.WriteHeapProfile(file); err != nil {
+		return fmt.Errorf("prof: %w", err)
+	}
+	return nil
+}

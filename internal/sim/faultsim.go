@@ -19,6 +19,12 @@ type Result struct {
 	// stops at its own last first-detection, so the count reflects the
 	// early exit; it is deterministic and independent of worker count.
 	BatchSteps int64
+	// FastForwarded counts batch-vectors the event-driven kernel skipped
+	// outright because the batch's fault effects were dead (no diverged
+	// flip-flop) and no fault site was activated by the fault-free
+	// values of the cycle. Always zero under KernelFull. Like
+	// BatchSteps, it is deterministic and independent of worker count.
+	FastForwarded int64
 }
 
 // NumDetected counts detected faults.
@@ -35,11 +41,32 @@ func (r Result) NumDetected() int {
 // Detected reports whether fault i was detected.
 func (r Result) Detected(i int) bool { return r.DetectedAt[i] != NotDetected }
 
+// Kernel selects the faulty-evaluation strategy of a fault-simulation
+// run. Every kernel produces bit-identical DetectedAt results; only the
+// work performed (and therefore BatchSteps/FastForwarded accounting)
+// differs.
+type Kernel uint8
+
+const (
+	// KernelEvent (the default) is the event-driven fault-cone kernel:
+	// per cycle, only gates on a levelized dirty queue seeded from
+	// active injection sites and diverged flip-flops are re-evaluated
+	// against a cached fault-free image, and cycles in which the fault
+	// effect is dead are skipped without evaluating any gate.
+	KernelEvent Kernel = iota
+	// KernelFull is the reference oracle: every gate of the circuit is
+	// evaluated every cycle (Machine.evalFaulty).
+	KernelFull
+)
+
 // Options configures fault simulation.
 type Options struct {
 	// InitialState assigns the flip-flop starting values; nil means
 	// all X (the power-up-unknown model the paper uses).
 	InitialState []logic.Value
+	// Kernel selects the faulty-evaluation kernel; the zero value is
+	// the event-driven kernel. Results are identical for every kernel.
+	Kernel Kernel
 }
 
 // Run fault-simulates seq against every fault in faults, using
@@ -59,10 +86,11 @@ func Run(c *netlist.Circuit, seq logic.Sequence, faults []fault.Fault, opts Opti
 }
 
 // RunSubset is Run restricted to the fault indices in subset; the
-// returned map gives detection cycles for the subset only. Callers in
-// tight loops should use Simulator.RunSubset, which reuses a machine
-// pool and accepts caller-provided buffers.
-func RunSubset(c *netlist.Circuit, seq logic.Sequence, faults []fault.Fault, subset []int, opts Options) map[int]int {
+// result's DetectedAt is keyed by subset position (DetectedAt[i] is the
+// detection cycle of faults[subset[i]]). Callers in tight loops should
+// use Simulator.RunSubset, which reuses a machine pool and accepts
+// caller-provided buffers.
+func RunSubset(c *netlist.Circuit, seq logic.Sequence, faults []fault.Fault, subset []int, opts Options) Result {
 	return NewSimulator(c, 1).RunSubset(seq, faults, subset, opts, nil, nil)
 }
 

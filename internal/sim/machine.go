@@ -47,6 +47,10 @@ type Machine struct {
 	trans    []transSite
 	transAt  []int32 // per signal: index into trans, or -1
 	hasTrans bool
+
+	// ev is the event-driven kernel's scratch state (see event.go),
+	// allocated on first use and reused across batches.
+	ev *eventScratch
 }
 
 type transSite struct {
@@ -330,16 +334,17 @@ func (m *Machine) StepMulti(vecs []logic.Vector) {
 	if len(vecs) == 0 {
 		panic("sim: StepMulti with no vectors")
 	}
+	n := len(vecs)
+	if n > Slots {
+		n = Slots
+	}
+	last := vecs[len(vecs)-1]
 	for i, in := range m.c.Inputs {
 		var z, o uint64
-		for k := 0; k < Slots; k++ {
-			vec := vecs[len(vecs)-1]
-			if k < len(vecs) {
-				vec = vecs[k]
-			}
+		for k := 0; k < n; k++ {
 			val := logic.X
-			if i < len(vec) {
-				val = vec[i]
+			if i < len(vecs[k]) {
+				val = vecs[k][i]
 			}
 			bit := uint64(1) << uint(k)
 			switch val {
@@ -350,6 +355,23 @@ func (m *Machine) StepMulti(vecs []logic.Vector) {
 			default:
 				z |= bit
 				o |= bit
+			}
+		}
+		if n < Slots {
+			// Slots beyond the supplied vectors replicate the last one.
+			rest := AllSlots << uint(n)
+			val := logic.X
+			if i < len(last) {
+				val = last[i]
+			}
+			switch val {
+			case logic.Zero:
+				z |= rest
+			case logic.One:
+				o |= rest
+			default:
+				z |= rest
+				o |= rest
 			}
 		}
 		m.zero[in], m.one[in] = z, o

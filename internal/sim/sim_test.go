@@ -340,9 +340,12 @@ func TestRunSubset(t *testing.T) {
 	full := Run(c, seq, faults, Options{})
 	subset := []int{0, 3, 7, len(faults) - 1}
 	sub := RunSubset(c, seq, faults, subset, Options{})
-	for _, fi := range subset {
-		if sub[fi] != full.DetectedAt[fi] {
-			t.Errorf("fault %d: subset=%d full=%d", fi, sub[fi], full.DetectedAt[fi])
+	if len(sub.DetectedAt) != len(subset) {
+		t.Fatalf("subset result has %d entries, want %d", len(sub.DetectedAt), len(subset))
+	}
+	for i, fi := range subset {
+		if sub.DetectedAt[i] != full.DetectedAt[fi] {
+			t.Errorf("fault %d: subset=%d full=%d", fi, sub.DetectedAt[i], full.DetectedAt[fi])
 		}
 	}
 }

@@ -24,6 +24,16 @@ type Simulator struct {
 	c       *netlist.Circuit
 	workers int
 	pool    sync.Pool
+
+	// Fault-free trace cache: compaction trial loops re-simulate the
+	// same sequence (by vector identity) against different fault
+	// subsets, and rebuilding the trace dominated those runs. The most
+	// recent trace is kept (with its machine checked out) and reused
+	// when the next Run's sequence and initial state match. Guarded by
+	// trMu; refs/cached on goodTrace track in-flight users so a
+	// replaced trace's machine is released only by its last user.
+	trMu   sync.Mutex
+	cached *goodTrace
 }
 
 // NewSimulator returns a Simulator for circuit c running fault batches
@@ -58,12 +68,21 @@ func (s *Simulator) Acquire() *Machine {
 // Release returns a Machine obtained from Acquire to the pool.
 func (s *Simulator) Release(m *Machine) { s.pool.Put(m) }
 
-// goodTrace computes the fault-free primary-output trace of a sequence
-// lazily and shares it between batch workers: rows[t] is produced at
-// most once, under the mutex, and published through the atomic counter
-// so warm reads take no lock. Lazy extension preserves the serial
-// path's early exit — the good machine advances only as far as the
-// slowest batch actually needs.
+// goodTrace computes the fault-free trace of a sequence lazily and
+// shares it between batch workers: vector t is produced at most once,
+// under the mutex, and published through the atomic counter so warm
+// reads take no lock. Lazy extension preserves the serial path's early
+// exit — the good machine advances only as far as the slowest batch
+// actually needs.
+//
+// Besides the primary-output rows the full-evaluation kernel compares
+// against, the trace (for the event kernel) caches a compact image of
+// every vector: two bits per signal (can-be-0, can-be-1) plus two bits
+// per flip-flop of the state reached after the vector. The good
+// machine's planes are uniform across all 64 slots — no faults, inputs
+// broadcast — so slot 0 carries the whole picture and the image costs
+// 2·ceil(nSig/64)+2·ceil(nFF/64) words per vector. Image layout:
+// [sigZero | sigOne | ffZero | ffOne].
 type goodTrace struct {
 	seq      logic.Sequence
 	m        *Machine
@@ -71,27 +90,111 @@ type goodTrace struct {
 	mu       sync.Mutex
 	produced atomic.Int64
 	rows     [][]logic.Value
+
+	withImages bool
+	sigW, ffW  int
+	imgs       [][]uint64
+
+	// Cache bookkeeping, guarded by the owning Simulator's trMu.
+	initState []logic.Value // copy of the creating Run's InitialState
+	refs      int           // in-flight Run calls using this trace
+	cached    bool          // still the Simulator's cached trace
 }
 
 func (s *Simulator) newTrace(seq logic.Sequence, opts Options) *goodTrace {
 	tr := &goodTrace{
-		seq:  seq,
+		// The header array is copied so the cached trace's key cannot
+		// alias a caller's reused sequence buffer (compaction builds
+		// trial sequences into one scratch slice); the vectors
+		// themselves are shared.
+		seq:  append(logic.Sequence(nil), seq...),
 		m:    s.Acquire(),
 		nPO:  s.c.NumOutputs(),
 		rows: make([][]logic.Value, len(seq)),
 	}
+	if opts.Kernel != KernelFull {
+		tr.withImages = true
+		tr.sigW = (len(s.c.Signals) + 63) / 64
+		tr.ffW = (len(s.c.FFs) + 63) / 64
+		tr.imgs = make([][]uint64, len(seq))
+	}
 	if opts.InitialState != nil {
 		tr.m.SetStateBroadcast(opts.InitialState)
+		tr.initState = append([]logic.Value(nil), opts.InitialState...)
 	}
 	return tr
 }
 
-// row returns the fault-free output values at vector t, extending the
-// trace if needed.
-func (tr *goodTrace) row(t int) []logic.Value {
-	if int64(t) < tr.produced.Load() {
-		return tr.rows[t]
+// matches reports whether this trace serves a Run of seq with opts. The
+// sequence is compared by per-vector slice identity (same backing
+// array, same length) — Run's documented assumption that callers do not
+// mutate vectors in place makes identity imply equality, and compaction
+// trial loops pass the same vector slices over and over.
+func (tr *goodTrace) matches(seq logic.Sequence, opts Options) bool {
+	if opts.Kernel != KernelFull && !tr.withImages {
+		return false
 	}
+	if len(seq) != len(tr.seq) {
+		return false
+	}
+	for t := range seq {
+		if len(seq[t]) != len(tr.seq[t]) {
+			return false
+		}
+		if len(seq[t]) != 0 && &seq[t][0] != &tr.seq[t][0] {
+			return false
+		}
+	}
+	if len(opts.InitialState) != len(tr.initState) {
+		return false
+	}
+	for i, v := range opts.InitialState {
+		if v != tr.initState[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// acquireTrace returns a trace for seq/opts, reusing the cached one when
+// it matches and replacing it otherwise. Pair with releaseTrace.
+func (s *Simulator) acquireTrace(seq logic.Sequence, opts Options) *goodTrace {
+	s.trMu.Lock()
+	defer s.trMu.Unlock()
+	if c := s.cached; c != nil && c.matches(seq, opts) {
+		c.refs++
+		return c
+	}
+	tr := s.newTrace(seq, opts)
+	tr.refs = 1
+	tr.cached = true
+	if old := s.cached; old != nil {
+		old.cached = false
+		if old.refs == 0 {
+			s.Release(old.m)
+		}
+	}
+	s.cached = tr
+	return tr
+}
+
+// releaseTrace drops one reference; an evicted trace's machine returns
+// to the pool with the last reference. The cached trace keeps its
+// machine checked out so the next matching Run continues where the
+// trace left off.
+func (s *Simulator) releaseTrace(tr *goodTrace) {
+	s.trMu.Lock()
+	defer s.trMu.Unlock()
+	tr.refs--
+	if tr.refs == 0 && !tr.cached {
+		s.Release(tr.m)
+	}
+}
+
+// ensure advances the shared good machine through vector t, capturing
+// output rows (and, for the event kernel, compact images) of every
+// produced vector.
+func (tr *goodTrace) ensure(t int) {
 	tr.mu.Lock()
 	defer tr.mu.Unlock()
 	for p := int(tr.produced.Load()); p <= t; p++ {
@@ -101,27 +204,75 @@ func (tr *goodTrace) row(t int) []logic.Value {
 			row[po] = tr.m.OutputSlot(po, 0)
 		}
 		tr.rows[p] = row
+		if tr.withImages {
+			tr.imgs[p] = tr.captureImage()
+		}
 		tr.produced.Store(int64(p + 1))
+	}
+}
+
+// captureImage compresses slot 0 of the good machine's planes into a
+// per-vector image (see goodTrace).
+func (tr *goodTrace) captureImage() []uint64 {
+	m := tr.m
+	img := make([]uint64, 2*tr.sigW+2*tr.ffW)
+	for s := range m.zero {
+		w, b := s>>6, uint(s)&63
+		img[w] |= (m.zero[s] & 1) << b
+		img[tr.sigW+w] |= (m.one[s] & 1) << b
+	}
+	base := 2 * tr.sigW
+	for fi := range m.sz {
+		w, b := fi>>6, uint(fi)&63
+		img[base+w] |= (m.sz[fi] & 1) << b
+		img[base+tr.ffW+w] |= (m.so[fi] & 1) << b
+	}
+	return img
+}
+
+// row returns the fault-free output values at vector t, extending the
+// trace if needed.
+func (tr *goodTrace) row(t int) []logic.Value {
+	if int64(t) >= tr.produced.Load() {
+		tr.ensure(t)
 	}
 	return tr.rows[t]
 }
 
-func (tr *goodTrace) release(s *Simulator) { s.Release(tr.m) }
+// image returns the compact fault-free image of vector t, extending the
+// trace if needed. Only valid on traces built for the event kernel.
+func (tr *goodTrace) image(t int) []uint64 {
+	if int64(t) >= tr.produced.Load() {
+		tr.ensure(t)
+	}
+	return tr.imgs[t]
+}
 
 // Run fault-simulates seq against faults exactly like the package-level
 // Run, using the machine pool and up to Workers() goroutines (one fault
 // batch of 64 at a time per worker). Detection results and BatchSteps
 // are identical for every worker count.
+//
+// The fault-free trace of seq is cached across calls keyed by vector
+// identity: callers must not mutate a vector's contents in place
+// between Run calls on the same Simulator (replacing vectors or
+// building new sequences is fine — identity then changes).
 func (s *Simulator) Run(seq logic.Sequence, faults []fault.Fault, opts Options) Result {
-	res := Result{DetectedAt: make([]int, len(faults))}
-	for i := range res.DetectedAt {
-		res.DetectedAt[i] = NotDetected
+	return s.runInto(seq, faults, opts, make([]int, len(faults)))
+}
+
+// runInto is Run writing detections into the caller-provided det slice
+// (len(det) == len(faults)), which becomes the result's DetectedAt.
+func (s *Simulator) runInto(seq logic.Sequence, faults []fault.Fault, opts Options, det []int) Result {
+	res := Result{DetectedAt: det}
+	for i := range det {
+		det[i] = NotDetected
 	}
 	if len(seq) == 0 || len(faults) == 0 {
 		return res
 	}
-	tr := s.newTrace(seq, opts)
-	defer tr.release(s)
+	tr := s.acquireTrace(seq, opts)
+	defer s.releaseTrace(tr)
 
 	nBatches := (len(faults) + Slots - 1) / Slots
 	nw := s.workers
@@ -131,7 +282,9 @@ func (s *Simulator) Run(seq logic.Sequence, faults []fault.Fault, opts Options) 
 	if nw <= 1 {
 		m := s.Acquire()
 		for bi := 0; bi < nBatches; bi++ {
-			res.BatchSteps += s.runBatch(m, tr, seq, faults, bi*Slots, opts, res.DetectedAt)
+			steps, skipped := s.runBatchKernel(m, tr, seq, faults, bi*Slots, opts, det)
+			res.BatchSteps += steps
+			res.FastForwarded += skipped
 		}
 		s.Release(m)
 		return res
@@ -140,6 +293,7 @@ func (s *Simulator) Run(seq logic.Sequence, faults []fault.Fault, opts Options) 
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	steps := make([]int64, nw)
+	skips := make([]int64, nw)
 	for w := 0; w < nw; w++ {
 		wg.Add(1)
 		go func(w int) {
@@ -153,15 +307,27 @@ func (s *Simulator) Run(seq logic.Sequence, faults []fault.Fault, opts Options) 
 				}
 				// Batches write disjoint DetectedAt indices, so no
 				// synchronization beyond the WaitGroup is needed.
-				steps[w] += s.runBatch(m, tr, seq, faults, bi*Slots, opts, res.DetectedAt)
+				st, sk := s.runBatchKernel(m, tr, seq, faults, bi*Slots, opts, det)
+				steps[w] += st
+				skips[w] += sk
 			}
 		}(w)
 	}
 	wg.Wait()
-	for _, n := range steps {
-		res.BatchSteps += n
+	for w := range steps {
+		res.BatchSteps += steps[w]
+		res.FastForwarded += skips[w]
 	}
 	return res
+}
+
+// runBatchKernel dispatches one fault batch to the kernel selected by
+// opts.Kernel.
+func (s *Simulator) runBatchKernel(m *Machine, tr *goodTrace, seq logic.Sequence, faults []fault.Fault, start int, opts Options, out []int) (steps, skipped int64) {
+	if opts.Kernel == KernelFull {
+		return s.runBatch(m, tr, seq, faults, start, opts, out), 0
+	}
+	return s.runBatchEvent(m, tr, seq, faults, start, opts, out)
 }
 
 // runBatch simulates the 64-fault batch starting at fault index start
@@ -186,14 +352,22 @@ func (s *Simulator) runBatch(m *Machine, tr *goodTrace, seq logic.Sequence, faul
 			panic(err)
 		}
 	}
+	return s.runFullTail(m, tr, seq, 0, n, start, 0, out)
+}
+
+// runFullTail runs the full-evaluation loop over seq[t0:] for an
+// n-fault batch already injected into m, with detected carrying the
+// slots found before t0. It is the whole of runBatch's loop (t0 = 0)
+// and the continuation target when the event kernel hands off a wide
+// batch mid-sequence. Returns the number of steps executed.
+func (s *Simulator) runFullTail(m *Machine, tr *goodTrace, seq logic.Sequence, t0, n, start int, detected uint64, out []int) int64 {
 	allMask := AllSlots
 	if n < Slots {
 		allMask = (uint64(1) << uint(n)) - 1
 	}
-	var detected uint64
 	var steps int64
 	nPO := tr.nPO
-	for t := range seq {
+	for t := t0; t < len(seq); t++ {
 		row := tr.row(t)
 		m.Step(seq[t])
 		steps++
@@ -221,23 +395,19 @@ func (s *Simulator) runBatch(m *Machine, tr *goodTrace, seq logic.Sequence, faul
 	return steps
 }
 
-// RunSubset is Run restricted to the fault indices in subset. buf, when
-// non-nil, is reused as scratch for the gathered faults, and out, when
-// non-nil, is cleared and reused for the result — both avoid per-call
+// RunSubset is Run restricted to the fault indices in subset; the
+// result's DetectedAt is keyed by subset position (DetectedAt[i] is the
+// detection cycle of faults[subset[i]]). buf, when non-nil, is reused
+// as scratch for the gathered faults, and out, when of sufficient
+// capacity, backs the result's DetectedAt — both avoid per-call
 // allocation in tight trial loops.
-func (s *Simulator) RunSubset(seq logic.Sequence, faults []fault.Fault, subset []int, opts Options, buf []fault.Fault, out map[int]int) map[int]int {
+func (s *Simulator) RunSubset(seq logic.Sequence, faults []fault.Fault, subset []int, opts Options, buf []fault.Fault, out []int) Result {
 	buf = buf[:0]
 	for _, fi := range subset {
 		buf = append(buf, faults[fi])
 	}
-	r := s.Run(seq, buf, opts)
-	if out == nil {
-		out = make(map[int]int, len(subset))
-	} else {
-		clear(out)
+	if cap(out) < len(subset) {
+		out = make([]int, len(subset))
 	}
-	for i, fi := range subset {
-		out[fi] = r.DetectedAt[i]
-	}
-	return out
+	return s.runInto(seq, buf, opts, out[:len(subset)])
 }

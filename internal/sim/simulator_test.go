@@ -94,7 +94,7 @@ func TestSimulatorPoolReuse(t *testing.T) {
 }
 
 // TestRunSubsetReuse: caller-provided scratch buffers must not change
-// results, and the result map must be cleared between calls.
+// results, and a reused out slice must be resized to the subset.
 func TestRunSubsetReuse(t *testing.T) {
 	c, err := circuits.Load("s298")
 	if err != nil {
@@ -111,24 +111,24 @@ func TestRunSubsetReuse(t *testing.T) {
 	fresh2 := s.RunSubset(seq, faults, subset2, Options{}, nil, nil)
 
 	buf := make([]fault.Fault, 0, Slots)
-	out := make(map[int]int)
+	out := make([]int, 0, Slots)
 	got1 := s.RunSubset(seq, faults, subset1, Options{}, buf, out)
-	if len(got1) != len(fresh1) {
-		t.Fatalf("reused-buffer result has %d entries, want %d", len(got1), len(fresh1))
+	if len(got1.DetectedAt) != len(subset1) {
+		t.Fatalf("reused-buffer result has %d entries, want %d", len(got1.DetectedAt), len(subset1))
 	}
-	for fi, at := range fresh1 {
-		if got1[fi] != at {
-			t.Errorf("fault %d: reused-buffer result %d, want %d", fi, got1[fi], at)
+	for i, at := range fresh1.DetectedAt {
+		if got1.DetectedAt[i] != at {
+			t.Errorf("fault %d: reused-buffer result %d, want %d", subset1[i], got1.DetectedAt[i], at)
 		}
 	}
-	// Second call must clear the stale subset1 entries.
-	got2 := s.RunSubset(seq, faults, subset2, Options{}, buf, out)
-	if len(got2) != len(fresh2) {
-		t.Fatalf("second reuse has %d entries, want %d (stale entries not cleared?)", len(got2), len(fresh2))
+	// Second call with the same out slice must resize to the new subset.
+	got2 := s.RunSubset(seq, faults, subset2, Options{}, buf, got1.DetectedAt)
+	if len(got2.DetectedAt) != len(subset2) {
+		t.Fatalf("second reuse has %d entries, want %d (stale entries not truncated?)", len(got2.DetectedAt), len(subset2))
 	}
-	for fi, at := range fresh2 {
-		if got2[fi] != at {
-			t.Errorf("fault %d: second reuse result %d, want %d", fi, got2[fi], at)
+	for i, at := range fresh2.DetectedAt {
+		if got2.DetectedAt[i] != at {
+			t.Errorf("fault %d: second reuse result %d, want %d", subset2[i], got2.DetectedAt[i], at)
 		}
 	}
 }
