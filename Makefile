@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench clean
+.PHONY: build test race vet bench fuzz clean
 
 build:
 	$(GO) build ./...
@@ -25,6 +25,13 @@ bench:
 		-benchmem -benchtime $(BENCHTIME) ./internal/sim/ && \
 	  $(GO) test -run '^$$' -bench 'Compaction' -benchmem -benchtime 1x ./internal/compact/ ; } | \
 		tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_sim.json
+
+# fuzz runs the .bench parser fuzzer for a short smoke interval, as CI
+# does. Override with FUZZTIME=5m for a longer local run.
+FUZZTIME ?= 20s
+
+fuzz:
+	$(GO) test -fuzz=FuzzParse -fuzztime $(FUZZTIME) ./internal/bench
 
 clean:
 	rm -f BENCH_sim.json

@@ -8,6 +8,16 @@
 //	scangen -circuit s27 -compact -print-seq  # Table 4: compacted sequence
 //	scangen -suite small                      # Tables 5 and 6 over the small suite
 //	scangen -suite full -no-baseline          # Table 5 over every circuit
+//
+// Long runs can be budgeted and made crash-safe:
+//
+//	scangen -circuit s5378 -compact -timeout 60s -checkpoint run.ckpt
+//	scangen -circuit s5378 -compact -checkpoint run.ckpt -resume
+//
+// A budgeted run that stops (timeout, SIGINT, -max-attempts,
+// -max-trials) prints partial results, writes its state to the
+// checkpoint file and exits 0; -resume continues it and the final
+// output is bit-identical to an uninterrupted run.
 package main
 
 import (
@@ -18,6 +28,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/prof"
 	"repro/internal/report"
+	"repro/internal/runctl"
 )
 
 func main() {
@@ -35,6 +46,7 @@ func main() {
 		outFile    = flag.String("out", "", "with -circuit: write the (compacted) sequence to this file")
 		verbose    = flag.Bool("v", false, "progress to stderr")
 	)
+	rc := runctl.RegisterFlags("scangen")
 	pf := prof.Register()
 	flag.Parse()
 	if err := pf.Start(); err != nil {
@@ -46,6 +58,15 @@ func main() {
 			fmt.Fprintln(os.Stderr, "scangen:", err)
 		}
 	}()
+	ctl, err := rc.Build()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scangen:", err)
+		os.Exit(2)
+	}
+	if *suite != "" && ctl != nil && ctl.Store != nil {
+		fmt.Fprintln(os.Stderr, "scangen: -checkpoint needs a single -circuit run (suite circuits would fight over the file)")
+		os.Exit(2)
+	}
 
 	cfg := core.DefaultConfig()
 	cfg.Seed = *seed
@@ -54,10 +75,11 @@ func main() {
 	cfg.OmitLenCap = *omitCap
 	cfg.Chains = *chains
 	cfg.Workers = *workers
+	cfg.Control = ctl
 
 	switch {
 	case *circuit != "":
-		runSingle(*circuit, cfg, *doCompact, *printSeq, *outFile)
+		runSingle(*circuit, cfg, *doCompact, *printSeq, *outFile, rc.Checkpoint)
 	case *suite != "":
 		runSuite(*suite, cfg, *verbose)
 	default:
@@ -67,7 +89,7 @@ func main() {
 	}
 }
 
-func runSingle(name string, cfg core.Config, doCompact, printSeq bool, outFile string) {
+func runSingle(name string, cfg core.Config, doCompact, printSeq bool, outFile, ckptFile string) {
 	cfg.SkipCompaction = !doCompact
 	row, art, err := core.RunGenerate(name, cfg)
 	if err != nil {
@@ -78,7 +100,7 @@ func runSingle(name string, cfg core.Config, doCompact, printSeq bool, outFile s
 		row.Circ, row.Inp, row.Stvr, row.Faults)
 	fmt.Printf("detected %d (%.2f%%), %d via scan knowledge\n", row.Detected, row.FCov, row.Funct)
 	fmt.Printf("test length %d (%d scan vectors)\n", row.TestLen, row.TestScan)
-	if doCompact {
+	if doCompact && row.RestorLen > 0 {
 		fmt.Printf("after restoration: %d (%d scan)\n", row.RestorLen, row.RestorScan)
 		fmt.Printf("after omission:    %d (%d scan)\n", row.OmitLen, row.OmitScan)
 		if row.ExtDet > 0 {
@@ -88,28 +110,31 @@ func runSingle(name string, cfg core.Config, doCompact, printSeq bool, outFile s
 	if row.BaselineCycles > 0 {
 		fmt.Printf("conventional-scan baseline: %d cycles\n", row.BaselineCycles)
 	}
+	// A stopped run may not have reached compaction; fall back to the
+	// best sequence that exists.
+	best := art.Raw
+	if doCompact && art.Omitted != nil {
+		best = art.Omitted
+	}
 	if outFile != "" {
-		seq := art.Raw
-		if doCompact {
-			seq = art.Omitted
-		}
-		if err := os.WriteFile(outFile, []byte(seq.String()+"\n"), 0o644); err != nil {
+		if err := os.WriteFile(outFile, []byte(best.String()+"\n"), 0o644); err != nil {
 			fmt.Fprintln(os.Stderr, "scangen:", err)
 			os.Exit(1)
 		}
 		fmt.Printf("sequence written to %s\n", outFile)
 	}
 	if printSeq {
-		seq := art.Raw
 		title := fmt.Sprintf("Test sequence for %s_scan (Table 1 style)", name)
-		if doCompact {
-			seq = art.Omitted
+		if doCompact && art.Omitted != nil {
 			title = fmt.Sprintf("Compacted test sequence for %s_scan (Table 4 style)", name)
 		}
 		fmt.Println()
-		fmt.Print(report.SequenceTable(art.Scan, seq, title))
+		fmt.Print(report.SequenceTable(art.Scan, best, title))
 		fmt.Printf("\nscan_sel=1 run lengths: %v (chain length %d)\n",
-			report.ScanRuns(art.Scan, seq), art.Scan.NumStateVars())
+			report.ScanRuns(art.Scan, best), art.Scan.NumStateVars())
+	}
+	if cfg.Control != nil {
+		fmt.Println(report.RunBanner(row.Status, ckptFile))
 	}
 }
 

@@ -8,6 +8,11 @@
 //	scangen -circuit s27 -print-seq > /tmp/seq.txt   # or any source
 //	scansim -circuit s27 -seq /tmp/seq.txt
 //	scansim -circuit s27 -gen -out /tmp/seq.txt      # generate and save
+//
+// Long runs can be budgeted and made crash-safe with -timeout,
+// -checkpoint and -resume (see scangen for the full description): an
+// interrupted run reports partial coverage and exits 0; resuming it
+// produces results bit-identical to an uninterrupted run.
 package main
 
 import (
@@ -21,6 +26,8 @@ import (
 	"repro/internal/fault"
 	"repro/internal/logic"
 	"repro/internal/prof"
+	"repro/internal/report"
+	"repro/internal/runctl"
 	"repro/internal/scan"
 	"repro/internal/seqatpg"
 	"repro/internal/sim"
@@ -43,6 +50,7 @@ func main() {
 		workers    = flag.Int("workers", 0, "fault-simulation worker count (0 = all cores; results are identical for every value)")
 		kernel     = flag.String("kernel", "event", "fault-simulation kernel: event or full (results are identical)")
 	)
+	rc := runctl.RegisterFlags("scansim")
 	pf := prof.Register()
 	flag.Parse()
 	var simOpts sim.Options
@@ -68,6 +76,11 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	ctl, err := rc.Build()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scansim:", err)
+		os.Exit(2)
+	}
 	c, err := circuits.Load(*circuit)
 	if err != nil {
 		fail(err)
@@ -80,8 +93,25 @@ func main() {
 
 	var seq logic.Sequence
 	if *gen {
-		res := seqatpg.Generate(sc, faults, seqatpg.Options{Seed: *seed, Workers: *workers})
+		res := seqatpg.Generate(sc, faults, seqatpg.Options{Seed: *seed, Workers: *workers, Control: ctl})
+		if res.Err != nil {
+			fail(res.Err)
+		}
 		seq = res.Sequence
+		if res.Status.Stopped() {
+			// Partial generation: simulating (and checkpointing a
+			// simulation of) a sequence that will grow on resume would
+			// poison the "sim" checkpoint section; report and stop here.
+			if *out != "" {
+				if err := os.WriteFile(*out, []byte(seq.String()+"\n"), 0o644); err != nil {
+					fail(err)
+				}
+			}
+			fmt.Printf("generated %d vectors so far, detected %d of %d faults\n",
+				len(seq), res.NumDetected(), len(faults))
+			fmt.Println(report.RunBanner(res.Status, rc.Checkpoint))
+			return
+		}
 	} else {
 		data, err := os.ReadFile(*seqFile)
 		if err != nil {
@@ -108,7 +138,11 @@ func main() {
 		fmt.Println("sequence structure: OK (widths match, fully specified)")
 	}
 	sm := sim.NewSimulator(sc.Scan, *workers)
+	simOpts.Control = ctl
 	res := sm.Run(seq, faults, simOpts)
+	if res.Err != nil {
+		fail(res.Err)
+	}
 	det := res.NumDetected()
 	fmt.Printf("circuit %s_scan: %d inputs, %d state variables\n",
 		*circuit, sc.Scan.NumInputs(), sc.NSV)
@@ -152,6 +186,9 @@ func main() {
 		for b, n := range buckets {
 			fmt.Printf("  %3d%%-%3d%%: %d\n", b*10, (b+1)*10, n)
 		}
+	}
+	if ctl != nil {
+		fmt.Println(report.RunBanner(res.Status, rc.Checkpoint))
 	}
 }
 

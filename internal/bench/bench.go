@@ -21,14 +21,15 @@ import (
 )
 
 // Parse reads a .bench description and returns the built circuit.
-// name becomes the circuit name.
+// name becomes the circuit name. Malformed input — truncated lines,
+// duplicate signal definitions, self-referential combinational gates —
+// is reported as an error naming the offending line, never a panic.
 func Parse(r io.Reader, name string) (*netlist.Circuit, error) {
-	b := netlist.NewBuilder(name)
+	p := &parser{b: netlist.NewBuilder(name), defined: make(map[string]int)}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
-	lineNo := 0
 	for sc.Scan() {
-		lineNo++
+		p.line++
 		line := sc.Text()
 		if i := strings.IndexByte(line, '#'); i >= 0 {
 			line = line[:i]
@@ -37,14 +38,14 @@ func Parse(r io.Reader, name string) (*netlist.Circuit, error) {
 		if line == "" {
 			continue
 		}
-		if err := parseLine(b, line); err != nil {
-			return nil, fmt.Errorf("bench: line %d: %w", lineNo, err)
+		if err := p.parseLine(line); err != nil {
+			return nil, fmt.Errorf("bench: line %d: %w", p.line, err)
 		}
 	}
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("bench: %w", err)
 	}
-	return b.Build()
+	return p.b.Build()
 }
 
 // ParseString is Parse on a string.
@@ -52,7 +53,26 @@ func ParseString(text, name string) (*netlist.Circuit, error) {
 	return Parse(strings.NewReader(text), name)
 }
 
-func parseLine(b *netlist.Builder, line string) error {
+// parser carries the per-file state Parse needs to report positioned
+// errors the Builder would otherwise only catch (without a line number)
+// at Build time.
+type parser struct {
+	b       *netlist.Builder
+	defined map[string]int // driven signal name -> defining line
+	line    int
+}
+
+// define records that name is driven on the current line, rejecting a
+// second definition with a pointer to the first.
+func (p *parser) define(name string) error {
+	if prev, ok := p.defined[name]; ok {
+		return fmt.Errorf("signal %q already defined at line %d", name, prev)
+	}
+	p.defined[name] = p.line
+	return nil
+}
+
+func (p *parser) parseLine(line string) error {
 	upper := strings.ToUpper(line)
 	switch {
 	case strings.HasPrefix(upper, "INPUT"):
@@ -60,14 +80,17 @@ func parseLine(b *netlist.Builder, line string) error {
 		if err != nil {
 			return err
 		}
-		b.AddInput(arg)
+		if err := p.define(arg); err != nil {
+			return err
+		}
+		p.b.AddInput(arg)
 		return nil
 	case strings.HasPrefix(upper, "OUTPUT"):
 		arg, err := parenArg(line[len("OUTPUT"):])
 		if err != nil {
 			return err
 		}
-		b.MarkOutput(arg)
+		p.b.MarkOutput(arg)
 		return nil
 	}
 	eq := strings.IndexByte(line, '=')
@@ -75,44 +98,70 @@ func parseLine(b *netlist.Builder, line string) error {
 		return fmt.Errorf("unrecognized statement %q", line)
 	}
 	out := strings.TrimSpace(line[:eq])
+	if err := checkName(out); err != nil {
+		return fmt.Errorf("bad output name before '=': %w", err)
+	}
 	rhs := strings.TrimSpace(line[eq+1:])
 	open := strings.IndexByte(rhs, '(')
 	closeP := strings.LastIndexByte(rhs, ')')
 	if open < 0 || closeP < open {
-		return fmt.Errorf("malformed gate expression %q", rhs)
+		return fmt.Errorf("malformed gate expression %q (truncated line?)", rhs)
 	}
 	fn := strings.ToUpper(strings.TrimSpace(rhs[:open]))
 	var args []string
 	for _, a := range strings.Split(rhs[open+1:closeP], ",") {
 		a = strings.TrimSpace(a)
-		if a == "" {
-			return fmt.Errorf("empty operand in %q", rhs)
+		if err := checkName(a); err != nil {
+			return fmt.Errorf("bad operand in %q: %w", rhs, err)
 		}
 		args = append(args, a)
+	}
+	if err := p.define(out); err != nil {
+		return err
 	}
 	if fn == "DFF" {
 		if len(args) != 1 {
 			return fmt.Errorf("DFF %q requires exactly 1 input", out)
 		}
-		b.AddFF(out, args[0])
+		// q = DFF(q) is a legal hold register; the flip-flop breaks
+		// the loop, so no self-reference check here.
+		p.b.AddFF(out, args[0])
 		return nil
 	}
 	t, err := netlist.ParseGateType(fn)
 	if err != nil {
 		return err
 	}
-	b.AddGate(t, out, args...)
+	for _, a := range args {
+		if a == out {
+			return fmt.Errorf("gate %q reads its own output (combinational self-loop)", out)
+		}
+	}
+	p.b.AddGate(t, out, args...)
+	return nil
+}
+
+// checkName rejects empty names and names containing characters the
+// grammar uses as structure — the usual residue of truncated or
+// mis-split lines.
+func checkName(s string) error {
+	if s == "" {
+		return fmt.Errorf("empty signal name")
+	}
+	if i := strings.IndexAny(s, " \t(),="); i >= 0 {
+		return fmt.Errorf("signal name %q contains %q", s, s[i])
+	}
 	return nil
 }
 
 func parenArg(s string) (string, error) {
 	s = strings.TrimSpace(s)
 	if !strings.HasPrefix(s, "(") || !strings.HasSuffix(s, ")") {
-		return "", fmt.Errorf("expected parenthesized name, got %q", s)
+		return "", fmt.Errorf("expected parenthesized name, got %q (truncated line?)", s)
 	}
 	arg := strings.TrimSpace(s[1 : len(s)-1])
-	if arg == "" {
-		return "", fmt.Errorf("empty name in %q", s)
+	if err := checkName(arg); err != nil {
+		return "", fmt.Errorf("in %q: %w", s, err)
 	}
 	return arg, nil
 }

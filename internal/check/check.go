@@ -18,6 +18,108 @@ import (
 	"repro/internal/translate"
 )
 
+// Netlist validates the structural invariants of a built circuit:
+// every net has exactly one driver consistent with its kind, gate
+// inputs are in range, and the evaluation order is a complete
+// topological order (so evaluation can neither hang nor read
+// uninitialized values). netlist.Builder.Build enforces these for
+// circuits built through it; Netlist re-checks them for circuits
+// assembled by hand or mutated after construction, returning a clear
+// error — undriven net, multiply-driven net, combinational loop —
+// before levelized evaluation is attempted.
+func Netlist(c *netlist.Circuit) error {
+	n := len(c.Signals)
+	// A gate (or flip-flop) whose output signal records a different
+	// driver means two drivers claim the same net; check that before
+	// the per-signal pass so the corruption is named for what it is.
+	for gi, g := range c.Gates {
+		if int(g.Out) < 0 || int(g.Out) >= n {
+			return fmt.Errorf("check: gate %d output signal %d out of range", gi, g.Out)
+		}
+		out := c.Signals[g.Out]
+		if out.Kind == netlist.KindGate && out.Driver < 0 {
+			return fmt.Errorf("check: undriven net %q (gate %d not recorded as its driver)", out.Name, gi)
+		}
+		if out.Kind != netlist.KindGate || int(out.Driver) != gi {
+			return fmt.Errorf("check: net %q multiply driven (gate %d and %s %d)",
+				out.Name, gi, out.Kind, out.Driver)
+		}
+		for pin, in := range g.In {
+			if int(in) < 0 || int(in) >= n {
+				return fmt.Errorf("check: gate %d input pin %d reads signal %d of %d", gi, pin, in, n)
+			}
+		}
+	}
+	for fi, ff := range c.FFs {
+		if int(ff.Q) < 0 || int(ff.Q) >= n || int(ff.D) < 0 || int(ff.D) >= n {
+			return fmt.Errorf("check: flip-flop %d references signals outside the circuit", fi)
+		}
+		if q := c.Signals[ff.Q]; q.Kind != netlist.KindFF || int(q.Driver) != fi {
+			return fmt.Errorf("check: net %q multiply driven (flip-flop %d and %s %d)",
+				q.Name, fi, q.Kind, q.Driver)
+		}
+	}
+	for id, s := range c.Signals {
+		switch s.Kind {
+		case netlist.KindInput:
+			if s.Driver != -1 {
+				return fmt.Errorf("check: input %q has driver index %d, want -1", s.Name, s.Driver)
+			}
+		case netlist.KindGate:
+			if s.Driver < 0 {
+				return fmt.Errorf("check: undriven net %q", s.Name)
+			}
+			if int(s.Driver) >= len(c.Gates) {
+				return fmt.Errorf("check: net %q names gate %d of %d", s.Name, s.Driver, len(c.Gates))
+			}
+			if int(c.Gates[s.Driver].Out) != id {
+				return fmt.Errorf("check: net %q undriven (gate %d drives another net)", s.Name, s.Driver)
+			}
+		case netlist.KindFF:
+			if s.Driver < 0 || int(s.Driver) >= len(c.FFs) {
+				return fmt.Errorf("check: net %q names flip-flop %d of %d", s.Name, s.Driver, len(c.FFs))
+			}
+			if int(c.FFs[s.Driver].Q) != id {
+				return fmt.Errorf("check: net %q undriven (flip-flop %d drives another net)", s.Name, s.Driver)
+			}
+		default:
+			return fmt.Errorf("check: net %q has unknown kind %v", s.Name, s.Kind)
+		}
+	}
+	// Order must list every gate exactly once, each after all gates
+	// driving its inputs; a short or cyclic order is a combinational
+	// loop (or a truncated levelization) and would hang or misevaluate.
+	if len(c.Order) != len(c.Gates) {
+		return fmt.Errorf("check: evaluation order covers %d of %d gates (combinational loop?)",
+			len(c.Order), len(c.Gates))
+	}
+	pos := make([]int, len(c.Gates))
+	for i := range pos {
+		pos[i] = -1
+	}
+	for i, gi := range c.Order {
+		if int(gi) < 0 || int(gi) >= len(c.Gates) {
+			return fmt.Errorf("check: evaluation order entry %d names gate %d of %d", i, gi, len(c.Gates))
+		}
+		if pos[gi] >= 0 {
+			return fmt.Errorf("check: gate %d appears twice in the evaluation order", gi)
+		}
+		pos[gi] = i
+	}
+	for gi, g := range c.Gates {
+		for _, in := range g.In {
+			if c.Signals[in].Kind != netlist.KindGate {
+				continue
+			}
+			if pos[c.Signals[in].Driver] > pos[gi] {
+				return fmt.Errorf("check: gate %d evaluated before its driver %d (combinational loop?)",
+					gi, c.Signals[in].Driver)
+			}
+		}
+	}
+	return nil
+}
+
 // Sequence validates structural properties of a test sequence for a
 // circuit: consistent vector widths matching the input count, and —
 // when fullySpecified — no X values (a releasable tester sequence is

@@ -4,10 +4,12 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/bench"
 	"repro/internal/circuits"
 	"repro/internal/combatpg"
 	"repro/internal/fault"
 	"repro/internal/logic"
+	"repro/internal/netlist"
 	"repro/internal/scan"
 	"repro/internal/seqatpg"
 	"repro/internal/sim"
@@ -26,6 +28,106 @@ func fixture(t *testing.T) (*scan.Circuit, []fault.Fault, seqatpg.Result) {
 	}
 	faults := fault.Universe(sc.Scan, true)
 	return sc, faults, seqatpg.Generate(sc, faults, seqatpg.Options{Seed: 1})
+}
+
+// parseGood builds a small well-formed sequential circuit for the
+// netlist-corruption tests.
+func parseGood(t *testing.T) *netlist.Circuit {
+	t.Helper()
+	c, err := bench.ParseString(`
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+q = DFF(d)
+n1 = AND(a, b)
+d = OR(n1, q)
+y = NOT(d)
+`, "good")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNetlistAcceptsWellFormed(t *testing.T) {
+	if err := Netlist(parseGood(t)); err != nil {
+		t.Error(err)
+	}
+	c, err := circuits.Load("s27")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Netlist(c); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMalformedNetlistsRejected pins one clear, non-panicking error per
+// malformed-netlist class, as produced by the builder before any
+// levelized evaluation can hang or panic.
+func TestMalformedNetlistsRejected(t *testing.T) {
+	cases := []struct {
+		name, text, wantSub string
+	}{
+		{"combinational-loop",
+			"INPUT(a)\nOUTPUT(y)\ny = AND(a, z)\nz = OR(a, y)\n",
+			"combinational cycle"},
+		{"undriven-net",
+			"INPUT(a)\nOUTPUT(y)\ny = AND(a, ghost)\n",
+			"undriven"},
+		{"multiply-driven-net",
+			"INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = NOT(a)\ny = NOT(b)\n",
+			"already defined"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := bench.ParseString(tc.text, "bad")
+			if err == nil {
+				t.Fatalf("accepted %q", tc.text)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+// TestNetlistCatchesCorruption corrupts a built circuit one invariant
+// at a time and checks Netlist names the malformed class.
+func TestNetlistCatchesCorruption(t *testing.T) {
+	t.Run("undriven", func(t *testing.T) {
+		c := parseGood(t)
+		id, _ := c.SignalByName("n1")
+		c.Signals[id].Driver = -1
+		if err := Netlist(c); err == nil || !strings.Contains(err.Error(), "undriven") {
+			t.Errorf("undriven net not flagged: %v", err)
+		}
+	})
+	t.Run("multiply-driven", func(t *testing.T) {
+		c := parseGood(t)
+		c.Gates[1].Out = c.Gates[0].Out
+		if err := Netlist(c); err == nil || !strings.Contains(err.Error(), "multiply driven") {
+			t.Errorf("multiply-driven net not flagged: %v", err)
+		}
+	})
+	t.Run("truncated-order", func(t *testing.T) {
+		c := parseGood(t)
+		c.Order = c.Order[:len(c.Order)-1]
+		if err := Netlist(c); err == nil || !strings.Contains(err.Error(), "combinational loop") {
+			t.Errorf("truncated order not flagged: %v", err)
+		}
+	})
+	t.Run("cyclic-order", func(t *testing.T) {
+		c := parseGood(t)
+		// Reversing the topological order puts at least one gate before
+		// a gate that drives it in this circuit (NOT(d) reads OR's out).
+		for i, j := 0, len(c.Order)-1; i < j; i, j = i+1, j-1 {
+			c.Order[i], c.Order[j] = c.Order[j], c.Order[i]
+		}
+		if err := Netlist(c); err == nil || !strings.Contains(err.Error(), "combinational loop") {
+			t.Errorf("out-of-order evaluation not flagged: %v", err)
+		}
+	})
 }
 
 func TestSequenceValid(t *testing.T) {

@@ -1,0 +1,142 @@
+package compact
+
+import (
+	"fmt"
+
+	"repro/internal/runctl"
+)
+
+// Checkpoint-store sections owned by the two compaction passes.
+const (
+	restoreSection = "restore"
+	omitSection    = "omit"
+)
+
+// restoreCheckpoint is the persisted state of an interrupted RestoreOpts
+// run. The restoration order is recomputed deterministically from the
+// base simulation on resume, so only the loop position and the two bit
+// masks need saving.
+type restoreCheckpoint struct {
+	InLen  int `json:"in_len"`
+	Faults int `json:"faults"`
+	// Pos is the next restoration-order position to process.
+	Pos int `json:"pos"`
+	// Kept marks input vectors restored so far ('1' per kept position).
+	Kept string `json:"kept"`
+	// Covered marks faults the restored subsequence already detects.
+	Covered string `json:"covered"`
+	Done    bool   `json:"done"`
+}
+
+// omitCheckpoint is the persisted state of an interrupted OmitOpts run,
+// always taken at a removal-window boundary: a stop inside a window
+// resumes from the window's start and redoes it deterministically.
+type omitCheckpoint struct {
+	InLen  int `json:"in_len"`
+	Faults int `json:"faults"`
+	// NextT is the working-sequence position the next removal window
+	// ends at (windows run from the sequence end toward the front).
+	NextT int `json:"next_t"`
+	// Kept marks input vectors still present in the working sequence.
+	Kept string `json:"kept"`
+	// DetAt holds current detection times in working-sequence indices.
+	DetAt []int `json:"det_at"`
+	Done  bool  `json:"done"`
+}
+
+// packMask renders a bool slice as a '0'/'1' string.
+func packMask(bs []bool) string {
+	m := make([]byte, len(bs))
+	for i, b := range bs {
+		if b {
+			m[i] = '1'
+		} else {
+			m[i] = '0'
+		}
+	}
+	return string(m)
+}
+
+// unpackMask fills bs from a packMask string of the same length.
+func unpackMask(s string, bs []bool) {
+	for i := range bs {
+		bs[i] = s[i] == '1'
+	}
+}
+
+func loadRestoreCheckpoint(ctl *runctl.Control, inLen, nFaults int) (st restoreCheckpoint, ok bool, err error) {
+	ok, err = ctl.Load(restoreSection, &st)
+	if err != nil || !ok {
+		return st, false, err
+	}
+	if st.InLen != inLen || st.Faults != nFaults {
+		return st, false, fmt.Errorf("compact: restore checkpoint for %d vectors / %d faults, run has %d / %d",
+			st.InLen, st.Faults, inLen, nFaults)
+	}
+	if len(st.Kept) != inLen || len(st.Covered) != nFaults || st.Pos < 0 {
+		return st, false, fmt.Errorf("compact: restore checkpoint malformed (kept %d, covered %d, pos %d)",
+			len(st.Kept), len(st.Covered), st.Pos)
+	}
+	return st, true, nil
+}
+
+func saveRestoreCheckpoint(ctl *runctl.Control, inLen, nFaults, pos int, kept, covered []bool, done, final bool) error {
+	if ctl == nil || ctl.Store == nil {
+		return nil
+	}
+	st := restoreCheckpoint{
+		InLen:   inLen,
+		Faults:  nFaults,
+		Pos:     pos,
+		Kept:    packMask(kept),
+		Covered: packMask(covered),
+		Done:    done,
+	}
+	if final {
+		return ctl.Save(restoreSection, st)
+	}
+	return ctl.Checkpoint(restoreSection, st)
+}
+
+func loadOmitCheckpoint(ctl *runctl.Control, inLen, nFaults int) (st omitCheckpoint, ok bool, err error) {
+	ok, err = ctl.Load(omitSection, &st)
+	if err != nil || !ok {
+		return st, false, err
+	}
+	if st.InLen != inLen || st.Faults != nFaults {
+		return st, false, fmt.Errorf("compact: omit checkpoint for %d vectors / %d faults, run has %d / %d",
+			st.InLen, st.Faults, inLen, nFaults)
+	}
+	if len(st.Kept) != inLen || len(st.DetAt) != nFaults {
+		return st, false, fmt.Errorf("compact: omit checkpoint malformed (kept %d, det_at %d)",
+			len(st.Kept), len(st.DetAt))
+	}
+	curLen := 0
+	for i := 0; i < len(st.Kept); i++ {
+		if st.Kept[i] == '1' {
+			curLen++
+		}
+	}
+	if st.NextT < 0 || st.NextT > curLen {
+		return st, false, fmt.Errorf("compact: omit checkpoint position %d outside working sequence of %d", st.NextT, curLen)
+	}
+	return st, true, nil
+}
+
+func saveOmitCheckpoint(ctl *runctl.Control, inLen, nFaults, nextT int, kept string, detAt []int, done, final bool) error {
+	if ctl == nil || ctl.Store == nil {
+		return nil
+	}
+	st := omitCheckpoint{
+		InLen:  inLen,
+		Faults: nFaults,
+		NextT:  nextT,
+		Kept:   kept,
+		DetAt:  detAt,
+		Done:   done,
+	}
+	if final {
+		return ctl.Save(omitSection, st)
+	}
+	return ctl.Checkpoint(omitSection, st)
+}

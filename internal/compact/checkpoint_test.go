@@ -1,0 +1,175 @@
+package compact
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/logic"
+	"repro/internal/runctl"
+)
+
+// driveToCompletion reruns a budgeted pass against the same store,
+// resuming each leg, until the pass reports Done. Budgets are drawn
+// from rng so interruption points vary but stay reproducible.
+func driveToCompletion(t *testing.T, rng *logic.RandFiller, maxBudget int, run func(ctl *runctl.Control) (logic.Sequence, Stats)) (logic.Sequence, Stats, int) {
+	t.Helper()
+	store := runctl.NewMemStore()
+	legs := 0
+	for {
+		b := runctl.Budget{MaxTrials: int64(1 + rng.Intn(maxBudget))}
+		out, st := run(&runctl.Control{Budget: b, Store: store, Resume: true})
+		if st.Err != nil {
+			t.Fatalf("leg %d: %v", legs, st.Err)
+		}
+		if st.Status.Done() {
+			return out, st, legs
+		}
+		if st.Status != runctl.BudgetExhausted {
+			t.Fatalf("leg %d: status %v, want budget exhausted", legs, st.Status)
+		}
+		legs++
+		if legs > 500 {
+			t.Fatal("pass never completed")
+		}
+	}
+}
+
+func sameSequence(t *testing.T, label string, got, want logic.Sequence) {
+	t.Helper()
+	if got.String() != want.String() {
+		t.Fatalf("%s: resumed output differs from uninterrupted run (%d vs %d vectors)",
+			label, len(got), len(want))
+	}
+}
+
+// TestRestoreResumeIdentity: restoration interrupted at randomized
+// order positions and resumed must reproduce the uninterrupted output.
+func TestRestoreResumeIdentity(t *testing.T) {
+	sc, faults, seq := fixture(t)
+	in := padded(sc, seq)
+	ref, refSt := Restore(sc.Scan, in, faults)
+	if !refSt.Status.Done() {
+		t.Fatalf("reference status %v", refSt.Status)
+	}
+
+	rng := logic.NewRandFiller(41)
+	for round := 0; round < 3; round++ {
+		out, st, legs := driveToCompletion(t, rng, 9, func(ctl *runctl.Control) (logic.Sequence, Stats) {
+			return RestoreOpts(sc.Scan, in, faults, Options{Control: ctl})
+		})
+		if legs == 0 {
+			t.Fatalf("round %d: never interrupted; budgets too large", round)
+		}
+		if st.Status != runctl.Resumed {
+			t.Fatalf("round %d: final status %v", round, st.Status)
+		}
+		sameSequence(t, "restore", out, ref)
+	}
+}
+
+// TestOmitResumeIdentity: omission interrupted at randomized trial
+// points resumes from the last window boundary and still reproduces
+// the uninterrupted output bit for bit.
+func TestOmitResumeIdentity(t *testing.T) {
+	sc, faults, seq := fixture(t)
+	in := padded(sc, seq)
+	ref, refSt := Omit(sc.Scan, in, faults)
+	if !refSt.Status.Done() {
+		t.Fatalf("reference status %v", refSt.Status)
+	}
+
+	rng := logic.NewRandFiller(43)
+	for round := 0; round < 3; round++ {
+		// Omission charges one trial per removal window, and the input
+		// only has a few windows, so interrupt after every single one.
+		out, st, legs := driveToCompletion(t, rng, 1, func(ctl *runctl.Control) (logic.Sequence, Stats) {
+			return OmitOpts(sc.Scan, in, faults, Options{Control: ctl})
+		})
+		if legs == 0 {
+			t.Fatalf("round %d: never interrupted; budgets too large", round)
+		}
+		if st.Status != runctl.Resumed {
+			t.Fatalf("round %d: final status %v", round, st.Status)
+		}
+		sameSequence(t, "omit", out, ref)
+	}
+}
+
+// TestRestoreThenOmitResumeIdentity drives the full pipeline through
+// randomized interruptions; both phases share one Control and one
+// store, and the final compacted sequence must match an uninterrupted
+// pipeline.
+func TestRestoreThenOmitResumeIdentity(t *testing.T) {
+	sc, faults, seq := fixture(t)
+	in := padded(sc, seq)
+	_, refOmitted, _, refOst := RestoreThenOmit(sc.Scan, in, faults)
+	if !refOst.Status.Done() {
+		t.Fatalf("reference status %v", refOst.Status)
+	}
+
+	rng := logic.NewRandFiller(47)
+	store := runctl.NewMemStore()
+	legs := 0
+	for {
+		b := runctl.Budget{MaxTrials: int64(1 + rng.Intn(9))}
+		ctl := &runctl.Control{Budget: b, Store: store, Resume: true}
+		_, omitted, rst, ost := RestoreThenOmitOpts(sc.Scan, in, faults, Options{Control: ctl})
+		if rst.Err != nil || ost.Err != nil {
+			t.Fatalf("leg %d: %v / %v", legs, rst.Err, ost.Err)
+		}
+		if ost.Status.Done() {
+			if legs == 0 {
+				t.Fatal("never interrupted; budgets too large")
+			}
+			sameSequence(t, "pipeline", omitted, refOmitted)
+			return
+		}
+		legs++
+		if legs > 500 {
+			t.Fatal("pipeline never completed")
+		}
+	}
+}
+
+// TestCompactCanceledReturnsValidPartial: a cancellation mid-pass must
+// yield a sequence that still detects everything the input detected
+// (the partial result is valid, just less compact).
+func TestCompactCanceledReturnsValidPartial(t *testing.T) {
+	sc, faults, seq := fixture(t)
+	in := padded(sc, seq)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out, st := OmitOpts(sc.Scan, in, faults, Options{Control: &runctl.Control{Budget: runctl.Budget{Ctx: ctx}}})
+	if st.Status != runctl.Canceled {
+		t.Fatalf("status %v, want canceled", st.Status)
+	}
+	// Canceled before the first trial: the working sequence is the
+	// input, which by construction detects everything the input does.
+	if len(out) != len(in) {
+		t.Fatalf("pre-trial cancel removed vectors: %d of %d left", len(out), len(in))
+	}
+
+	want := detectedSet(sc, in, faults)
+	got := detectedSet(sc, out, faults)
+	for fi := range want {
+		if !got[fi] {
+			t.Fatalf("fault %d lost by canceled compaction", fi)
+		}
+	}
+}
+
+// TestOmitResumeRejectsMismatch: an omit checkpoint for a different
+// input must fail loudly instead of producing garbage.
+func TestOmitResumeRejectsMismatch(t *testing.T) {
+	sc, faults, seq := fixture(t)
+	in := padded(sc, seq)
+	store := runctl.NewMemStore()
+	_, st := OmitOpts(sc.Scan, in, faults, Options{Control: &runctl.Control{Store: store}})
+	if !st.Status.Done() {
+		t.Fatalf("seed run status %v", st.Status)
+	}
+	_, st = OmitOpts(sc.Scan, in[:len(in)-1], faults, Options{Control: &runctl.Control{Store: store, Resume: true}})
+	if st.Status != runctl.Failed || st.Err == nil {
+		t.Fatalf("mismatched resume accepted: %v %v", st.Status, st.Err)
+	}
+}

@@ -21,11 +21,13 @@
 package compact
 
 import (
+	"fmt"
 	"sort"
 
 	"repro/internal/fault"
 	"repro/internal/logic"
 	"repro/internal/netlist"
+	"repro/internal/runctl"
 	"repro/internal/sim"
 )
 
@@ -40,6 +42,18 @@ type Options struct {
 	// ignored. Sharing one Simulator across restoration, omission and
 	// any surrounding flow amortizes machine allocation.
 	Sim *sim.Simulator
+	// Control, when non-nil, threads budget/cancellation and optional
+	// checkpointing through the pass. Restoration charges one budget
+	// trial per restoration-order position ("restore" checkpoint
+	// section). Omission charges one trial per removal window but polls
+	// cancellation at every removal trial; it checkpoints only at
+	// window boundaries ("omit" section), so a cancellation or deadline
+	// stop inside a window resumes from the window start and redoes it
+	// deterministically. A stopped pass returns the valid partial
+	// sequence with Stats.Status set; a resumed pass finishes
+	// bit-identical to an uninterrupted one. The Control is never
+	// forwarded to inner fault-simulation runs.
+	Control *runctl.Control
 }
 
 func (o Options) simulator(c *netlist.Circuit) *sim.Simulator {
@@ -68,6 +82,13 @@ type Stats struct {
 	// Simulations it is comparable across passes whose runs differ in
 	// fault count, sequence length or early exit.
 	BatchSteps int64
+	// Status classifies the pass: Complete/Resumed mark a full
+	// compaction, any Stopped() status marks a valid but only partially
+	// compacted result that a checkpoint can continue.
+	Status runctl.Status
+	// Err carries the checkpoint load/save failure when Status is
+	// Failed; it is nil otherwise.
+	Err error
 }
 
 // Restore runs vector-restoration compaction of seq for circuit c,
@@ -125,10 +146,39 @@ func RestoreOpts(c *netlist.Circuit, seq logic.Sequence, faults []fault.Fault, o
 	// already covered are dropped from later batch checks — they could
 	// only re-confirm a flag that never goes back to false.
 	covered := make([]bool, len(faults))
+	ctl := opts.Control
+	startPos := 0
+	resumed := false
+	if ctl.Resuming() {
+		ck, ok, err := loadRestoreCheckpoint(ctl, len(seq), len(faults))
+		if err == nil && ok && ck.Pos > len(order) {
+			err = errRestorePos(ck.Pos, len(order))
+		}
+		if err != nil {
+			ctl.Fail()
+			st.Status, st.Err = runctl.Failed, err
+			return nil, st
+		}
+		if ok {
+			resumed = true
+			unpackMask(ck.Kept, kept)
+			unpackMask(ck.Covered, covered)
+			startPos = ck.Pos
+			if ck.Done {
+				startPos = len(order)
+			}
+		}
+	}
+	st.Status = runctl.Final(resumed)
 	group := make([]int, 0, sim.Slots)
 	fbuf := make([]fault.Fault, 0, sim.Slots)
 	detBuf := make([]int, 0, sim.Slots)
-	for pos := 0; pos < len(order); pos++ {
+	for pos := startPos; pos < len(order); pos++ {
+		if stop, halted := ctl.Trial(); halted {
+			st.Status = stop
+			st.Err = saveRestoreCheckpoint(ctl, len(seq), len(faults), pos, kept, covered, false, true)
+			break
+		}
 		fi := order[pos]
 		if !covered[fi] {
 			// Batch-check this fault together with the next
@@ -175,11 +225,27 @@ func RestoreOpts(c *netlist.Circuit, seq logic.Sequence, faults []fault.Fault, o
 				break
 			}
 		}
+		st.Err = saveRestoreCheckpoint(ctl, len(seq), len(faults), pos+1, kept, covered, false, false)
+	}
+	if st.Status.Done() {
+		st.Err = saveRestoreCheckpoint(ctl, len(seq), len(faults), len(order), kept, covered, true, true)
 	}
 	out := append(logic.Sequence(nil), build()...)
 	st.AfterLen = len(out)
-	st.ExtraDetected = countExtra(s, out, faults, base, &st)
+	if st.Status.Done() {
+		st.ExtraDetected = countExtra(s, out, faults, base, &st)
+	}
+	if st.Err != nil && st.Status != runctl.Failed {
+		ctl.Fail()
+		st.Status = runctl.Failed
+	}
 	return out, st
+}
+
+// errRestorePos builds the out-of-range error for a restore checkpoint
+// whose position exceeds the recomputed restoration order.
+func errRestorePos(pos, n int) error {
+	return fmt.Errorf("compact: restore checkpoint position %d outside order of %d", pos, n)
 }
 
 // omitBlock is the initial block size for omission trials. Whole blocks
@@ -212,6 +278,29 @@ func OmitOpts(c *netlist.Circuit, seq logic.Sequence, faults []fault.Fault, opts
 		}
 	}
 
+	ctl := opts.Control
+	o.ctl = ctl
+	startT := len(o.cur)
+	resumed := false
+	if ctl.Resuming() {
+		ck, ok, err := loadOmitCheckpoint(ctl, len(seq), len(faults))
+		if err != nil {
+			ctl.Fail()
+			st.Status, st.Err = runctl.Failed, err
+			st.AfterLen = len(o.cur)
+			return o.cur, st
+		}
+		if ok {
+			resumed = true
+			o.restoreFrom(ck.Kept, ck.DetAt)
+			startT = ck.NextT
+			if ck.Done {
+				startT = 0
+			}
+		}
+	}
+	st.Status = runctl.Final(resumed)
+
 	// slack bounds how far past its previous detection time a fault is
 	// allowed to drift during a trial. Trials are simulated only up to
 	// the latest affected detection time plus this slack, which keeps
@@ -222,10 +311,11 @@ func OmitOpts(c *netlist.Circuit, seq logic.Sequence, faults []fault.Fault, opts
 
 	// removeRange prunes within [lo, hi): try the whole range, bisect
 	// on failure. Higher positions are handled first so indices below
-	// stay valid.
+	// stay valid. A budget stop inside a trial short-circuits the
+	// bisection.
 	var removeRange func(lo, hi int)
 	removeRange = func(lo, hi int) {
-		if hi <= lo || o.tryRemove(lo, hi, slack) {
+		if o.stopStatus.Stopped() || hi <= lo || o.tryRemove(lo, hi, slack) {
 			return
 		}
 		if hi-lo == 1 {
@@ -235,18 +325,50 @@ func OmitOpts(c *netlist.Circuit, seq logic.Sequence, faults []fault.Fault, opts
 		removeRange(mid, hi)
 		removeRange(lo, mid)
 	}
-	for t := len(o.cur); t > 0; {
+	for t := startT; t > 0; {
 		lo := t - omitBlock
 		if lo < 0 {
 			lo = 0
 		}
+		// One budget trial is charged per removal window — the atomic
+		// resume unit — so a budget stop always lands on a window
+		// boundary and every resumed leg makes progress.
+		if stop, halted := ctl.Trial(); halted {
+			st.Status = stop
+			st.Err = saveOmitCheckpoint(ctl, len(seq), len(faults), t, o.keptMask(len(seq)), o.detAt, false, true)
+			break
+		}
+		// Snapshot the pre-window state: a cancellation or deadline stop
+		// inside the window saves this snapshot, so the resumed run
+		// redoes the whole window.
+		var snapKept string
+		var snapDet []int
+		if ctl != nil && ctl.Store != nil {
+			snapKept = o.keptMask(len(seq))
+			snapDet = append([]int(nil), o.detAt...)
+		}
 		removeRange(lo, t)
+		if o.stopStatus.Stopped() {
+			st.Status = o.stopStatus
+			st.Err = saveOmitCheckpoint(ctl, len(seq), len(faults), t, snapKept, snapDet, false, true)
+			break
+		}
+		st.Err = saveOmitCheckpoint(ctl, len(seq), len(faults), lo, o.keptMask(len(seq)), o.detAt, false, false)
 		t = lo
+	}
+	if st.Status.Done() {
+		st.Err = saveOmitCheckpoint(ctl, len(seq), len(faults), 0, o.keptMask(len(seq)), o.detAt, true, true)
 	}
 	st.AfterLen = len(o.cur)
 	st.Simulations = o.sims
 	st.BatchSteps = o.steps
-	st.ExtraDetected = countExtra(s, o.cur, faults, base, &st)
+	if st.Status.Done() {
+		st.ExtraDetected = countExtra(s, o.cur, faults, base, &st)
+	}
+	if st.Err != nil && st.Status != runctl.Failed {
+		ctl.Fail()
+		st.Status = runctl.Failed
+	}
 	return o.cur, st
 }
 
@@ -283,6 +405,13 @@ func RestoreThenOmit(c *netlist.Circuit, seq logic.Sequence, faults []fault.Faul
 func RestoreThenOmitOpts(c *netlist.Circuit, seq logic.Sequence, faults []fault.Fault, opts Options) (restored, omitted logic.Sequence, rst, ost Stats) {
 	opts.Sim = opts.simulator(c)
 	restored, rst = RestoreOpts(c, seq, faults, opts)
+	if rst.Status.Stopped() {
+		// Omission must not run (or checkpoint) against a partial
+		// restoration: resuming restore will extend the sequence, so an
+		// omit checkpoint taken now could never be matched up again.
+		ost = Stats{BeforeLen: len(restored), AfterLen: len(restored), Status: rst.Status, Err: rst.Err}
+		return restored, restored, rst, ost
+	}
 	omitted, ost = OmitOpts(c, restored, faults, opts)
 	return restored, omitted, rst, ost
 }

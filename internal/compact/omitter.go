@@ -7,6 +7,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/logic"
 	"repro/internal/netlist"
+	"repro/internal/runctl"
 	"repro/internal/sim"
 )
 
@@ -27,7 +28,9 @@ type omitter struct {
 	c      *netlist.Circuit
 	sim    *sim.Simulator
 	faults []fault.Fault
+	in     logic.Sequence // input sequence, never mutated
 	cur    logic.Sequence
+	idx    []int // idx[i] = input position of cur[i]
 	detAt  []int
 
 	good       *sim.Machine
@@ -38,6 +41,11 @@ type omitter struct {
 	scratch *sim.Machine // reused for batch replay
 	sims    int
 	steps   int64 // batch-vector simulation steps (see Stats.BatchSteps)
+
+	// ctl is polled once per removal trial; stopStatus latches the stop
+	// so the window loop can wind down and checkpoint.
+	ctl        *runctl.Control
+	stopStatus runctl.Status
 }
 
 type omitBatch struct {
@@ -57,9 +65,16 @@ func newOmitter(s *sim.Simulator, seq logic.Sequence, faults []fault.Fault) *omi
 		c:      c,
 		sim:    s,
 		faults: faults,
-		cur:    seq.Clone(),
+		in:     seq.Clone(),
 		detAt:  make([]int, len(faults)),
 		good:   s.Acquire(),
+	}
+	// cur starts as a fresh copy of in (commit splices cur's backing
+	// array in place, so the two must not share one).
+	o.cur = append(logic.Sequence(nil), o.in...)
+	o.idx = make([]int, len(seq))
+	for i := range o.idx {
+		o.idx[i] = i
 	}
 	for i := range o.detAt {
 		o.detAt[i] = sim.NotDetected
@@ -191,6 +206,14 @@ func valuePlanesOf(v logic.Value) (z, d uint64) {
 // (conservatively) rejected. On success the working sequence and the
 // detection times are updated.
 func (o *omitter) tryRemove(lo, hi, slack int) bool {
+	// Cancellation/deadline is polled per trial, but trials are not
+	// charged against MaxTrials here: the budget is charged per removal
+	// window (the atomic resume unit), which guarantees every resumed
+	// leg makes progress no matter how small the budget.
+	if st, stop := o.ctl.ShouldStop(); stop {
+		o.stopStatus = st
+		return false
+	}
 	removed := hi - lo
 	// Per batch: the affected mask and the latest affected detection
 	// expressed in post-removal indices.
@@ -338,7 +361,37 @@ func (o *omitter) tryRemove(lo, hi, slack int) bool {
 // commit applies the removal and the re-recorded detection times.
 func (o *omitter) commit(lo, hi int, newTimes map[int]int) {
 	o.cur = append(o.cur[:lo], o.cur[hi:]...)
+	o.idx = append(o.idx[:lo], o.idx[hi:]...)
 	for fi, t := range newTimes {
 		o.detAt[fi] = t
 	}
+}
+
+// keptMask renders which input positions are still in the working
+// sequence as a '0'/'1' string of inLen characters.
+func (o *omitter) keptMask(inLen int) string {
+	m := make([]byte, inLen)
+	for i := range m {
+		m[i] = '0'
+	}
+	for _, i := range o.idx {
+		m[i] = '1'
+	}
+	return string(m)
+}
+
+// restoreFrom rebuilds the working sequence from a checkpointed kept
+// mask and detection-time array. Positions below the next removal
+// window are untouched by construction (windows run back to front), so
+// the prefix invariant the trial engine relies on still holds.
+func (o *omitter) restoreFrom(kept string, detAt []int) {
+	o.cur = o.cur[:0]
+	o.idx = o.idx[:0]
+	for i := 0; i < len(kept); i++ {
+		if kept[i] == '1' {
+			o.cur = append(o.cur, o.in[i])
+			o.idx = append(o.idx, i)
+		}
+	}
+	copy(o.detAt, detAt)
 }

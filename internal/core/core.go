@@ -19,6 +19,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/logic"
 	"repro/internal/netlist"
+	"repro/internal/runctl"
 	"repro/internal/scan"
 	"repro/internal/seqatpg"
 	"repro/internal/sim"
@@ -55,6 +56,16 @@ type Config struct {
 	// Workers is the fault-simulation worker count used throughout the
 	// flow (0 = GOMAXPROCS). Results are identical for every value.
 	Workers int
+	// Control, when non-nil, threads budget/cancellation and optional
+	// checkpointing through the generation flow: the generator and both
+	// compaction passes poll it, and a "meta" checkpoint section guards
+	// resumes against a different circuit, seed, chain count or
+	// collapse setting. A stopped flow skips the stages that did not
+	// run (compaction, baseline) and reports partial numbers with
+	// GenerateRow.Status set. One Control describes one circuit's run;
+	// suite runs must not attach a checkpoint Store (each circuit would
+	// fight over the same sections).
+	Control *runctl.Control
 }
 
 // DefaultConfig returns the configuration the experiments use.
@@ -79,6 +90,11 @@ type GenerateRow struct {
 	ExtDet                int // extra faults detected during compaction
 
 	BaselineCycles int // conventional-scan comparator ("[26] cyc")
+
+	// Status classifies the flow run: Complete/Resumed mark full rows;
+	// a Stopped() status marks partial numbers (stages after the stop
+	// hold zero values).
+	Status runctl.Status
 }
 
 // GenerateArtifacts carries the heavyweight objects produced by the
@@ -97,6 +113,11 @@ type GenerateArtifacts struct {
 // RunGenerate executes the generation flow on the named catalog
 // circuit.
 func RunGenerate(name string, cfg Config) (GenerateRow, *GenerateArtifacts, error) {
+	ctl := cfg.Control
+	if err := checkMeta(ctl, "generate", name, cfg); err != nil {
+		ctl.Fail()
+		return GenerateRow{Circ: name, Status: runctl.Failed}, nil, err
+	}
 	c, err := circuits.Load(name)
 	if err != nil {
 		return GenerateRow{}, nil, err
@@ -124,6 +145,7 @@ func RunGenerate(name string, cfg Config) (GenerateRow, *GenerateArtifacts, erro
 	if seqOpts.Workers == 0 {
 		seqOpts.Workers = cfg.Workers
 	}
+	seqOpts.Control = ctl
 	gen := seqatpg.Generate(sc, faults, seqOpts)
 
 	art := &GenerateArtifacts{Scan: sc, Faults: faults, Gen: gen, Raw: gen.Sequence}
@@ -137,17 +159,39 @@ func RunGenerate(name string, cfg Config) (GenerateRow, *GenerateArtifacts, erro
 		Funct:    gen.NumFunct(),
 		TestLen:  len(gen.Sequence),
 		TestScan: countScan(sc, gen.Sequence),
+		Status:   gen.Status,
+	}
+	if gen.Status == runctl.Failed {
+		return row, art, gen.Err
+	}
+	if gen.Status.Stopped() {
+		// Partial generation: the sequence will grow on resume, so the
+		// compaction passes (and their checkpoints) must not run, and
+		// the baseline comparison would not be meaningful yet.
+		return row, art, nil
 	}
 
 	if !cfg.SkipCompaction {
 		// One simulator (and so one machine pool) serves both compaction
 		// passes and the final extra-detection check.
 		s := sim.NewSimulator(cs, cfg.Workers)
-		copts := compact.Options{Sim: s}
+		copts := compact.Options{Sim: s, Control: ctl}
 		restored, rst := compact.RestoreOpts(cs, gen.Sequence, faults, copts)
+		if rst.Status != runctl.Complete {
+			row.Status = rst.Status
+		}
+		if rst.Status == runctl.Failed {
+			return row, art, rst.Err
+		}
 		omitted, ost := restored, compact.Stats{BeforeLen: len(restored), AfterLen: len(restored)}
-		if cfg.OmitLenCap == 0 || len(restored) <= cfg.OmitLenCap {
+		if !rst.Status.Stopped() && (cfg.OmitLenCap == 0 || len(restored) <= cfg.OmitLenCap) {
 			omitted, ost = compact.OmitOpts(cs, restored, faults, copts)
+			if ost.Status != runctl.Complete {
+				row.Status = ost.Status
+			}
+			if ost.Status == runctl.Failed {
+				return row, art, ost.Err
+			}
 		}
 		art.Restored, art.Omitted = restored, omitted
 		art.RestoreStats, art.OmitStats = rst, ost
@@ -155,9 +199,14 @@ func RunGenerate(name string, cfg Config) (GenerateRow, *GenerateArtifacts, erro
 		row.RestorScan = countScan(sc, restored)
 		row.OmitLen = len(omitted)
 		row.OmitScan = countScan(sc, omitted)
-		row.ExtDet = extraDetections(s, gen, omitted, faults)
+		if row.Status.Done() {
+			row.ExtDet = extraDetections(s, gen, omitted, faults)
+		}
 	}
 
+	if row.Status.Stopped() {
+		return row, art, nil
+	}
 	if !cfg.SkipBaseline {
 		baseOpts := cfg.Baseline
 		if baseOpts.Seed == 0 {
@@ -171,6 +220,46 @@ func RunGenerate(name string, cfg Config) (GenerateRow, *GenerateArtifacts, erro
 		row.BaselineCycles = base.Cycles
 	}
 	return row, art, nil
+}
+
+// coreMeta is the "meta" checkpoint section: the flow-level settings a
+// resume must match for the engine checkpoints to make sense.
+type coreMeta struct {
+	Flow     string `json:"flow"`
+	Circuit  string `json:"circuit"`
+	Seed     uint64 `json:"seed"`
+	Chains   int    `json:"chains"`
+	Collapse bool   `json:"collapse"`
+}
+
+// checkMeta validates the checkpoint's meta section against the run's
+// settings when resuming, and records them when starting fresh with a
+// store attached.
+func checkMeta(ctl *runctl.Control, flow, name string, cfg Config) error {
+	if ctl == nil || ctl.Store == nil {
+		return nil
+	}
+	chains := cfg.Chains
+	if chains < 1 {
+		chains = 1
+	}
+	want := coreMeta{Flow: flow, Circuit: name, Seed: cfg.Seed, Chains: chains, Collapse: cfg.Collapse}
+	if ctl.Resuming() {
+		var have coreMeta
+		ok, err := ctl.Load("meta", &have)
+		if err != nil {
+			return err
+		}
+		if ok {
+			if have != want {
+				return fmt.Errorf("core: checkpoint is for %s/%s seed=%d chains=%d collapse=%v; run is %s/%s seed=%d chains=%d collapse=%v",
+					have.Flow, have.Circuit, have.Seed, have.Chains, have.Collapse,
+					want.Flow, want.Circuit, want.Seed, want.Chains, want.Collapse)
+			}
+			return nil
+		}
+	}
+	return ctl.Save("meta", want)
 }
 
 // countScan counts the vectors of seq performing a scan shift.

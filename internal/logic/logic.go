@@ -221,6 +221,20 @@ func NewRandFiller(seed uint64) *RandFiller {
 	return &RandFiller{state: seed}
 }
 
+// State returns the generator's internal state for checkpointing; a
+// filler restored with the value continues the exact same stream.
+func (r *RandFiller) State() uint64 { return r.state }
+
+// Restore sets the internal state to one previously read with State.
+// A zero state (which State never returns) is remapped like a zero
+// seed, keeping the xorshift invariant that the state is never zero.
+func (r *RandFiller) Restore(state uint64) {
+	if state == 0 {
+		state = 0x9e3779b97f4a7c15
+	}
+	r.state = state
+}
+
 // Next returns the next pseudo-random bit as a logic Value.
 func (r *RandFiller) Next() Value {
 	r.state ^= r.state << 13

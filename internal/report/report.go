@@ -10,9 +10,23 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/logic"
+	"repro/internal/runctl"
 	"repro/internal/scan"
 	"repro/internal/translate"
 )
+
+// RunBanner renders the one-line run status commands print last: the
+// status name, plus resume advice when the run stopped with a
+// checkpoint file attached.
+func RunBanner(status runctl.Status, checkpoint string) string {
+	if status.Stopped() && checkpoint != "" {
+		return fmt.Sprintf("run status: %s — partial results saved; continue with -resume -checkpoint %s", status, checkpoint)
+	}
+	if status.Stopped() {
+		return fmt.Sprintf("run status: %s — partial results (no checkpoint file; rerun with -checkpoint to make the run resumable)", status)
+	}
+	return fmt.Sprintf("run status: %s", status)
+}
 
 // SequenceTable renders a test sequence for a scan design in the style
 // of the paper's Table 1: one row per time unit, one column per original

@@ -1,0 +1,200 @@
+package runctl
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Store persists named checkpoint sections. One store backs a whole
+// pipeline run: each engine owns a section ("generate", "restore",
+// "omit", "sim") and the orchestrator may add its own ("meta"), so a
+// single checkpoint file describes the full run state.
+type Store interface {
+	// Save replaces the named section with the JSON encoding of v,
+	// persisting the whole store atomically.
+	Save(section string, v any) error
+	// Load decodes the named section into v, reporting false when the
+	// section does not exist.
+	Load(section string, v any) (bool, error)
+	// Clear discards all sections (and deletes any backing file).
+	Clear() error
+}
+
+// envelope is the on-disk checkpoint file layout.
+type envelope struct {
+	Format   string                     `json:"format"`
+	Sections map[string]json.RawMessage `json:"sections"`
+}
+
+// FileFormat identifies the checkpoint file envelope.
+const FileFormat = "scanatpg-checkpoint/v1"
+
+// FileStore is a Store backed by one JSON file. Every Save rewrites the
+// file through a temp-file-plus-rename in the same directory, so a
+// crash (or SIGKILL) mid-write can never leave a torn checkpoint: the
+// file always holds either the previous or the new complete state.
+type FileStore struct {
+	path string
+
+	mu       sync.Mutex
+	loaded   bool
+	sections map[string]json.RawMessage
+}
+
+// NewFileStore returns a FileStore at path. The file is read lazily on
+// first access and created on first Save.
+func NewFileStore(path string) *FileStore { return &FileStore{path: path} }
+
+// Path returns the backing file path.
+func (f *FileStore) Path() string { return f.path }
+
+func (f *FileStore) load() error {
+	if f.loaded {
+		return nil
+	}
+	f.sections = make(map[string]json.RawMessage)
+	data, err := os.ReadFile(f.path)
+	if errors.Is(err, fs.ErrNotExist) {
+		f.loaded = true
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("runctl: read checkpoint: %w", err)
+	}
+	var env envelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return fmt.Errorf("runctl: checkpoint %s is corrupt: %w", f.path, err)
+	}
+	if env.Format != FileFormat {
+		return fmt.Errorf("runctl: checkpoint %s has format %q, want %q", f.path, env.Format, FileFormat)
+	}
+	if env.Sections != nil {
+		f.sections = env.Sections
+	}
+	f.loaded = true
+	return nil
+}
+
+// Save implements Store.
+func (f *FileStore) Save(section string, v any) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.load(); err != nil {
+		return err
+	}
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("runctl: encode section %q: %w", section, err)
+	}
+	f.sections[section] = raw
+	data, err := json.MarshalIndent(envelope{Format: FileFormat, Sections: f.sections}, "", " ")
+	if err != nil {
+		return fmt.Errorf("runctl: encode checkpoint: %w", err)
+	}
+	return writeAtomic(f.path, append(data, '\n'))
+}
+
+// Load implements Store.
+func (f *FileStore) Load(section string, v any) (bool, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.load(); err != nil {
+		return false, err
+	}
+	raw, ok := f.sections[section]
+	if !ok {
+		return false, nil
+	}
+	if err := json.Unmarshal(raw, v); err != nil {
+		return false, fmt.Errorf("runctl: decode section %q: %w", section, err)
+	}
+	return true, nil
+}
+
+// Clear implements Store.
+func (f *FileStore) Clear() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.sections = make(map[string]json.RawMessage)
+	f.loaded = true
+	if err := os.Remove(f.path); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return fmt.Errorf("runctl: clear checkpoint: %w", err)
+	}
+	return nil
+}
+
+// writeAtomic writes data to path via a temp file in the same directory
+// followed by a rename, fsyncing the temp file first.
+func writeAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("runctl: write checkpoint: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("runctl: write checkpoint: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("runctl: sync checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("runctl: close checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("runctl: publish checkpoint: %w", err)
+	}
+	return nil
+}
+
+// MemStore is an in-memory Store for tests and embedded use.
+type MemStore struct {
+	mu       sync.Mutex
+	sections map[string]json.RawMessage
+}
+
+// NewMemStore returns an empty MemStore.
+func NewMemStore() *MemStore {
+	return &MemStore{sections: make(map[string]json.RawMessage)}
+}
+
+// Save implements Store.
+func (m *MemStore) Save(section string, v any) error {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("runctl: encode section %q: %w", section, err)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sections[section] = raw
+	return nil
+}
+
+// Load implements Store.
+func (m *MemStore) Load(section string, v any) (bool, error) {
+	m.mu.Lock()
+	raw, ok := m.sections[section]
+	m.mu.Unlock()
+	if !ok {
+		return false, nil
+	}
+	if err := json.Unmarshal(raw, v); err != nil {
+		return false, fmt.Errorf("runctl: decode section %q: %w", section, err)
+	}
+	return true, nil
+}
+
+// Clear implements Store.
+func (m *MemStore) Clear() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sections = make(map[string]json.RawMessage)
+	return nil
+}

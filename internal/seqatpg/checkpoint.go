@@ -1,0 +1,98 @@
+package seqatpg
+
+import (
+	"fmt"
+
+	"repro/internal/logic"
+	"repro/internal/runctl"
+)
+
+// genSection is the checkpoint-store section Generate owns.
+const genSection = "generate"
+
+// genCheckpoint is the persisted state of an interrupted Generate run:
+// the sequence built so far (replayed through the Manager on resume to
+// rebuild good/faulty machine states and DetectedAt), the loop position
+// of the next attempt, the funct flags decided so far, and the RNG
+// state — everything needed to make the resumed run bit-identical to an
+// uninterrupted one.
+type genCheckpoint struct {
+	// Params fingerprints the options that shape the search; resuming
+	// under different options would silently diverge, so it is rejected.
+	Params string `json:"params"`
+	Faults int    `json:"faults"`
+	Inputs int    `json:"inputs"`
+
+	Pass     int    `json:"pass"`
+	Fault    int    `json:"fault"` // next fault index to attempt
+	Sequence string `json:"sequence"`
+	Funct    []int  `json:"funct"` // fault indices flagged funct so far
+	RNG      uint64 `json:"rng"`
+	Done     bool   `json:"done"`
+}
+
+// genParams fingerprints every option that influences the generated
+// sequence (worker count deliberately excluded: results are identical
+// for every value).
+func genParams(opts Options) string {
+	return fmt.Sprintf("seed=%d passes=%d frames=%d cands=%d podem=%d noscan=%v rand=%d",
+		opts.Seed, opts.Passes, opts.MaxFrames, opts.Candidates,
+		opts.PodemBacktracks, opts.DisableScanKnowledge, opts.RandomPhase)
+}
+
+// loadGenCheckpoint restores a prior Generate run. It returns the
+// parsed checkpoint and sequence, or ok=false when no checkpoint
+// section exists.
+func loadGenCheckpoint(ctl *runctl.Control, opts Options, nFaults, nInputs int) (st genCheckpoint, seq logic.Sequence, ok bool, err error) {
+	ok, err = ctl.Load(genSection, &st)
+	if err != nil || !ok {
+		return st, nil, false, err
+	}
+	if want := genParams(opts); st.Params != want {
+		return st, nil, false, fmt.Errorf("seqatpg: checkpoint generated under %q, run uses %q", st.Params, want)
+	}
+	if st.Faults != nFaults || st.Inputs != nInputs {
+		return st, nil, false, fmt.Errorf("seqatpg: checkpoint for %d faults / %d inputs, run has %d / %d",
+			st.Faults, st.Inputs, nFaults, nInputs)
+	}
+	seq, err = logic.ParseSequence(st.Sequence)
+	if err != nil {
+		return st, nil, false, fmt.Errorf("seqatpg: checkpoint sequence corrupt: %w", err)
+	}
+	if len(seq) > 0 && len(seq[0]) != nInputs {
+		return st, nil, false, fmt.Errorf("seqatpg: checkpoint vector width %d, circuit has %d inputs", len(seq[0]), nInputs)
+	}
+	for fi := range st.Funct {
+		if st.Funct[fi] < 0 || st.Funct[fi] >= nFaults {
+			return st, nil, false, fmt.Errorf("seqatpg: checkpoint funct index %d out of range", st.Funct[fi])
+		}
+	}
+	return st, seq, true, nil
+}
+
+// saveGenCheckpoint persists the loop state; final (stop or completion)
+// saves bypass the periodic throttle.
+func saveGenCheckpoint(ctl *runctl.Control, opts Options, nFaults, nInputs, pass, fi int, seq logic.Sequence, funct []bool, rng *logic.RandFiller, done, final bool) error {
+	if ctl == nil || ctl.Store == nil {
+		return nil
+	}
+	st := genCheckpoint{
+		Params:   genParams(opts),
+		Faults:   nFaults,
+		Inputs:   nInputs,
+		Pass:     pass,
+		Fault:    fi,
+		Sequence: seq.String(),
+		RNG:      rng.State(),
+		Done:     done,
+	}
+	for i, f := range funct {
+		if f {
+			st.Funct = append(st.Funct, i)
+		}
+	}
+	if final {
+		return ctl.Save(genSection, st)
+	}
+	return ctl.Checkpoint(genSection, st)
+}

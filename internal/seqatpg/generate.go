@@ -21,6 +21,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/logic"
 	"repro/internal/netlist"
+	"repro/internal/runctl"
 	"repro/internal/scan"
 	"repro/internal/sim"
 )
@@ -53,6 +54,14 @@ type Options struct {
 	// incremental fault batches (0 = GOMAXPROCS). The generated
 	// sequence is identical for every value.
 	Workers int
+	// Control, when non-nil, threads budget/cancellation and optional
+	// checkpointing through the run. Generate polls it before every
+	// per-fault attempt; on a stop it saves its state under the
+	// "generate" section and returns the partial result with the stop
+	// Status. A resumed run continues the attempt loop exactly where it
+	// stopped and produces a sequence bit-identical to an uninterrupted
+	// run.
+	Control *runctl.Control
 }
 
 func (o Options) withDefaults(nsv int) Options {
@@ -88,6 +97,13 @@ type Result struct {
 	// Funct[i] marks faults detected through the scan-knowledge flush
 	// mechanism (the paper's "funct" column in Table 5).
 	Funct []bool
+	// Status classifies the run: Complete/Resumed mark a full result,
+	// any Stopped() status marks a partial one that a checkpoint can
+	// continue.
+	Status runctl.Status
+	// Err carries the checkpoint load/save failure when Status is
+	// Failed; it is nil otherwise.
+	Err error
 }
 
 // NumDetected counts detected faults.
@@ -137,9 +153,37 @@ func Generate(sc scan.Design, faults []fault.Fault, opts Options) Result {
 	a := newAttempter(sc, opts, s)
 	defer a.close()
 
+	ctl := opts.Control
 	var seq logic.Sequence
 	funct := make([]bool, len(faults))
-	if opts.RandomPhase > 0 {
+	startPass, startFault := 0, 0
+	resumed := false
+	if ctl.Resuming() {
+		st, ckseq, ok, err := loadGenCheckpoint(ctl, opts, len(faults), c.NumInputs())
+		if err != nil {
+			ctl.Fail()
+			return Result{DetectedAt: mgr.DetectedAt, Funct: funct, Status: runctl.Failed, Err: err}
+		}
+		if ok {
+			resumed = true
+			seq = ckseq
+			// Replaying the sequence through the manager rebuilds the
+			// good/faulty machine states and DetectedAt deterministically.
+			mgr.AppendSequence(seq)
+			for _, fi := range st.Funct {
+				funct[fi] = true
+			}
+			rng.Restore(st.RNG)
+			startPass, startFault = st.Pass, st.Fault
+			if st.Done {
+				startPass = opts.Passes // nothing left to do
+			}
+		}
+	}
+
+	// The random phase (when enabled) is part of the checkpointed
+	// sequence, so a resumed run must not replay it.
+	if !resumed && opts.RandomPhase > 0 {
 		phase := logic.NewRandFiller(opts.Seed ^ 0x52414E44)
 		for i := 0; i < opts.RandomPhase; i++ {
 			v := make(logic.Vector, c.NumInputs())
@@ -150,24 +194,46 @@ func Generate(sc scan.Design, faults []fault.Fault, opts Options) Result {
 			mgr.Append(v)
 		}
 	}
-	for pass := 0; pass < opts.Passes; pass++ {
-		for fi := range faults {
+
+	status := runctl.Final(resumed)
+	var ckErr error
+loop:
+	for pass := startPass; pass < opts.Passes; pass++ {
+		fi0 := 0
+		if pass == startPass {
+			fi0 = startFault
+		}
+		for fi := fi0; fi < len(faults); fi++ {
 			if mgr.Detected(fi) {
 				continue
 			}
+			if st, stop := ctl.Attempt(); stop {
+				// The checkpoint names (pass, fi) as the next attempt, so
+				// it must be written before the attempt runs.
+				status = st
+				ckErr = saveGenCheckpoint(ctl, opts, len(faults), c.NumInputs(), pass, fi, seq, funct, rng, false, true)
+				break loop
+			}
 			sub, flushStart, ok := a.attempt(faults[fi], mgr.GoodState(), mgr.FaultyState(fi), pod, podFull, rng)
-			if !ok {
-				continue
+			if ok {
+				start := len(seq)
+				seq = append(seq, sub...)
+				mgr.AppendSequence(sub)
+				if mgr.Detected(fi) && flushStart >= 0 && mgr.DetectedAt[fi] >= start+flushStart {
+					funct[fi] = true
+				}
 			}
-			start := len(seq)
-			seq = append(seq, sub...)
-			mgr.AppendSequence(sub)
-			if mgr.Detected(fi) && flushStart >= 0 && mgr.DetectedAt[fi] >= start+flushStart {
-				funct[fi] = true
-			}
+			ckErr = saveGenCheckpoint(ctl, opts, len(faults), c.NumInputs(), pass, fi+1, seq, funct, rng, false, false)
 		}
 	}
-	return Result{Sequence: seq, DetectedAt: mgr.DetectedAt, Funct: funct}
+	if status.Done() {
+		ckErr = saveGenCheckpoint(ctl, opts, len(faults), c.NumInputs(), opts.Passes, 0, seq, funct, rng, true, true)
+	}
+	if ckErr != nil && status != runctl.Failed {
+		ctl.Fail()
+		status = runctl.Failed
+	}
+	return Result{Sequence: seq, DetectedAt: mgr.DetectedAt, Funct: funct, Status: status, Err: ckErr}
 }
 
 // attempter holds the per-attempt machinery (two simulation machines,

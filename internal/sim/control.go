@@ -1,0 +1,104 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/runctl"
+)
+
+// ckptSection is the checkpoint-store section name Simulator.Run uses.
+const ckptSection = "sim"
+
+// PanicError reports a panic recovered inside a fault-simulation worker.
+// The failing fault batch is identified by its half-open global fault
+// index range, so callers can retry, exclude or report the exact faults
+// involved; Stack is the goroutine stack captured at the panic site.
+type PanicError struct {
+	BatchStart, BatchEnd int
+	Value                any
+	Stack                []byte
+}
+
+// Error implements error.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("sim: worker panic on fault batch [%d,%d): %v\n%s",
+		e.BatchStart, e.BatchEnd, e.Value, e.Stack)
+}
+
+// Unwrap exposes a wrapped error panic value (e.g. panic(err)).
+func (e *PanicError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// simCheckpoint is the persisted state of an interrupted Simulator.Run:
+// which 64-fault batches have fully completed and the detection state
+// so far. Batches are independent, so a resumed run simulates only the
+// missing batches and reproduces the uninterrupted result bit for bit.
+type simCheckpoint struct {
+	// Faults and SeqLen guard against resuming with a different fault
+	// universe or sequence.
+	Faults int `json:"faults"`
+	SeqLen int `json:"seq_len"`
+	// Done holds one '0'/'1' per batch, '1' when the batch completed.
+	Done string `json:"done"`
+	// DetectedAt is the full detection array; entries of unfinished
+	// batches are NotDetected.
+	DetectedAt []int `json:"detected_at"`
+	// Complete marks a run that finished every batch.
+	Complete bool `json:"complete"`
+}
+
+// loadSimCheckpoint restores a prior run's batch completion state into
+// done and det. It reports whether anything was restored.
+func loadSimCheckpoint(ctl *runctl.Control, nFaults, seqLen, nBatches int, done []bool, det []int) (bool, error) {
+	var st simCheckpoint
+	ok, err := ctl.Load(ckptSection, &st)
+	if err != nil || !ok {
+		return false, err
+	}
+	if st.Faults != nFaults || st.SeqLen != seqLen || len(st.Done) != nBatches || len(st.DetectedAt) != nFaults {
+		return false, fmt.Errorf("sim: checkpoint mismatch: saved %d faults / %d vectors / %d batches, run has %d / %d / %d",
+			st.Faults, st.SeqLen, len(st.Done), nFaults, seqLen, nBatches)
+	}
+	restored := false
+	for bi := 0; bi < nBatches; bi++ {
+		if st.Done[bi] != '1' {
+			continue
+		}
+		done[bi] = true
+		restored = true
+		end := (bi + 1) * Slots
+		if end > nFaults {
+			end = nFaults
+		}
+		copy(det[bi*Slots:end], st.DetectedAt[bi*Slots:end])
+	}
+	return restored, nil
+}
+
+// saveSimCheckpoint persists the current batch completion state.
+func saveSimCheckpoint(ctl *runctl.Control, seqLen int, done []bool, det []int, throttled bool) error {
+	st := simCheckpoint{
+		Faults:     len(det),
+		SeqLen:     seqLen,
+		DetectedAt: det,
+		Complete:   true,
+	}
+	mask := make([]byte, len(done))
+	for bi, d := range done {
+		if d {
+			mask[bi] = '1'
+		} else {
+			mask[bi] = '0'
+			st.Complete = false
+		}
+	}
+	st.Done = string(mask)
+	if throttled {
+		return ctl.Checkpoint(ckptSection, st)
+	}
+	return ctl.Save(ckptSection, st)
+}

@@ -1,0 +1,198 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/circuits"
+	"repro/internal/fault"
+	"repro/internal/logic"
+	"repro/internal/runctl"
+)
+
+// badFault returns a fault whose injection fails (pin out of range for
+// gate 0), which the batch kernels turn into a panic — the deliberate
+// worker-failure vector for these tests.
+func badFault(c interface{ NumGates() int }) fault.Fault {
+	return fault.Fault{
+		SA:   logic.Zero,
+		Site: fault.Site{Signal: 0, Gate: 0, Pin: 99, FF: -1},
+	}
+}
+
+func testCircuitAndSeq(t *testing.T, name string, vectors int) (*Simulator, []fault.Fault, logic.Sequence) {
+	t.Helper()
+	c, err := circuits.Load(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := fault.Universe(c, true)
+	rng := logic.NewRandFiller(7)
+	seq := make(logic.Sequence, vectors)
+	for i := range seq {
+		v := make(logic.Vector, c.NumInputs())
+		for j := range v {
+			v[j] = rng.Next()
+		}
+		seq[i] = v
+	}
+	return NewSimulator(c, 4), faults, seq
+}
+
+func TestWorkerPanicSurfacesAsError(t *testing.T) {
+	s, faults, seq := testCircuitAndSeq(t, "s298", 40)
+	// Plant the bad fault in the second batch so the first batch holds
+	// only healthy faults.
+	if len(faults) <= Slots {
+		t.Fatalf("need more than one batch, have %d faults", len(faults))
+	}
+	bad := badFault(s.Circuit())
+	mixed := append(append([]fault.Fault{}, faults[:Slots]...), bad)
+	mixed = append(mixed, faults[Slots:2*Slots-1]...)
+
+	before := runtime.NumGoroutine()
+	ctl := &runctl.Control{}
+	res := s.Run(seq, mixed, Options{Control: ctl})
+	if res.Err == nil {
+		t.Fatal("worker panic did not surface as an error")
+	}
+	var pe *PanicError
+	if !errors.As(res.Err, &pe) {
+		t.Fatalf("error is %T, want *PanicError: %v", res.Err, res.Err)
+	}
+	if pe.BatchStart != Slots || pe.BatchEnd != len(mixed) {
+		t.Errorf("batch range [%d,%d), want [%d,%d)", pe.BatchStart, pe.BatchEnd, Slots, len(mixed))
+	}
+	if len(pe.Stack) == 0 || !strings.Contains(string(pe.Stack), "runBatch") {
+		t.Errorf("stack missing or unhelpful:\n%s", pe.Stack)
+	}
+	if res.Status != runctl.Failed {
+		t.Errorf("status = %v, want failed", res.Status)
+	}
+	// Give drained workers a moment to exit, then check for leaks.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before {
+		t.Errorf("goroutine leak: %d before, %d after", before, n)
+	}
+
+	// The simulator stays usable after a failed run.
+	ok := s.Run(seq, faults, Options{})
+	if ok.Err != nil || ok.NumDetected() == 0 {
+		t.Fatalf("simulator unusable after failure: err=%v detected=%d", ok.Err, ok.NumDetected())
+	}
+}
+
+func TestWorkerPanicRepanicsWithoutControl(t *testing.T) {
+	s, faults, seq := testCircuitAndSeq(t, "s27", 20)
+	mixed := append([]fault.Fault{badFault(s.Circuit())}, faults...)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("no panic propagated to caller")
+		}
+		if _, ok := r.(*PanicError); !ok {
+			t.Fatalf("recovered %T, want *PanicError", r)
+		}
+	}()
+	s.Run(seq, mixed, Options{})
+}
+
+func TestRunCancellationReturnsPartial(t *testing.T) {
+	s, faults, seq := testCircuitAndSeq(t, "s298", 40)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ctl := &runctl.Control{Budget: runctl.Budget{Ctx: ctx}}
+	res := s.Run(seq, faults, Options{Control: ctl})
+	if res.Status != runctl.Canceled {
+		t.Fatalf("status = %v, want canceled", res.Status)
+	}
+	if res.Err != nil {
+		t.Fatalf("unexpected error: %v", res.Err)
+	}
+	if res.NumDetected() != 0 {
+		// Pre-canceled control: no batch may run.
+		t.Fatalf("canceled-before-start run detected %d faults", res.NumDetected())
+	}
+}
+
+func TestRunCheckpointResumeIdentity(t *testing.T) {
+	s, faults, seq := testCircuitAndSeq(t, "s298", 40)
+	ref := s.Run(seq, faults, Options{})
+
+	store := runctl.NewMemStore()
+	// Interrupt immediately: context already canceled, nothing runs,
+	// but the (empty) checkpoint is written.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res := s.Run(seq, faults, Options{Control: &runctl.Control{Budget: runctl.Budget{Ctx: ctx}, Store: store}})
+	if res.Status != runctl.Canceled {
+		t.Fatalf("status = %v", res.Status)
+	}
+
+	// Resume without a budget: must complete and match the reference.
+	res = s.Run(seq, faults, Options{Control: &runctl.Control{Store: store, Resume: true}})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if !res.Status.Done() {
+		t.Fatalf("resumed status = %v", res.Status)
+	}
+	for i := range ref.DetectedAt {
+		if res.DetectedAt[i] != ref.DetectedAt[i] {
+			t.Fatalf("fault %d: resumed %d, reference %d", i, res.DetectedAt[i], ref.DetectedAt[i])
+		}
+	}
+
+	// Resume once more: everything checkpointed as complete.
+	res = s.Run(seq, faults, Options{Control: &runctl.Control{Store: store, Resume: true}})
+	if res.Status != runctl.Resumed {
+		t.Fatalf("second resume status = %v", res.Status)
+	}
+	for i := range ref.DetectedAt {
+		if res.DetectedAt[i] != ref.DetectedAt[i] {
+			t.Fatalf("fault %d after full resume: %d vs %d", i, res.DetectedAt[i], ref.DetectedAt[i])
+		}
+	}
+}
+
+func TestRunCheckpointMismatchFails(t *testing.T) {
+	s, faults, seq := testCircuitAndSeq(t, "s27", 10)
+	store := runctl.NewMemStore()
+	res := s.Run(seq, faults, Options{Control: &runctl.Control{Store: store}})
+	if res.Err != nil || !res.Status.Done() {
+		t.Fatalf("seed run: %v %v", res.Status, res.Err)
+	}
+	// Different fault universe: the checkpoint must be rejected.
+	res = s.Run(seq, faults[:len(faults)-1], Options{Control: &runctl.Control{Store: store, Resume: true}})
+	if res.Err == nil || res.Status != runctl.Failed {
+		t.Fatalf("mismatched resume accepted: %v %v", res.Status, res.Err)
+	}
+}
+
+func TestNewSimulatorValidation(t *testing.T) {
+	c, err := circuits.Load("s27")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{-5, -1, 0} {
+		if got := NewSimulator(c, w).Workers(); got != runtime.GOMAXPROCS(0) {
+			t.Errorf("NewSimulator(c, %d).Workers() = %d, want GOMAXPROCS %d", w, got, runtime.GOMAXPROCS(0))
+		}
+	}
+	if got := NewSimulator(c, 3).Workers(); got != 3 {
+		t.Errorf("Workers() = %d, want 3", got)
+	}
+	defer func() {
+		if r := recover(); r == nil {
+			t.Error("NewSimulator(nil, 1) did not panic")
+		}
+	}()
+	NewSimulator(nil, 1)
+}

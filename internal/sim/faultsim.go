@@ -4,6 +4,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/logic"
 	"repro/internal/netlist"
+	"repro/internal/runctl"
 )
 
 // NotDetected marks a fault with no detection in a Result.
@@ -14,6 +15,17 @@ const NotDetected = -1
 // primary output, or NotDetected.
 type Result struct {
 	DetectedAt []int
+	// Status classifies the run when Options.Control was set: Complete
+	// or Resumed for a full result, a stopped status when the run was
+	// interrupted at a batch boundary — DetectedAt is then partial and
+	// unprocessed faults read NotDetected. Always Complete (the zero
+	// value) without a Control.
+	Status runctl.Status
+	// Err carries a worker failure, such as a recovered panic (see
+	// PanicError); the faults of the failing batch and any unclaimed
+	// batches read NotDetected. Runs without a Control re-panic on the
+	// calling goroutine instead of reporting here.
+	Err error
 	// BatchSteps counts the units of fault-simulation work performed:
 	// one unit is one 64-fault batch advanced by one vector. Each batch
 	// stops at its own last first-detection, so the count reflects the
@@ -67,6 +79,13 @@ type Options struct {
 	// Kernel selects the faulty-evaluation kernel; the zero value is
 	// the event-driven kernel. Results are identical for every kernel.
 	Kernel Kernel
+	// Control, when non-nil, threads the run-control layer through the
+	// simulation: cancellation and deadlines are polled at fault-batch
+	// boundaries (in-flight batches drain, so a stop never yields a
+	// half-simulated batch), per-batch detection state checkpoints to
+	// the control's store under the "sim" section, and recovered worker
+	// panics surface in Result.Err instead of re-panicking.
+	Control *runctl.Control
 }
 
 // Run fault-simulates seq against every fault in faults, using

@@ -2,12 +2,14 @@ package sim
 
 import (
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/fault"
 	"repro/internal/logic"
 	"repro/internal/netlist"
+	"repro/internal/runctl"
 )
 
 // Simulator owns a pool of reusable Machines for one circuit and fans
@@ -37,9 +39,14 @@ type Simulator struct {
 }
 
 // NewSimulator returns a Simulator for circuit c running fault batches
-// on up to workers goroutines; workers <= 0 selects
-// runtime.GOMAXPROCS(0).
+// on up to workers goroutines. workers <= 0 is clamped to
+// runtime.GOMAXPROCS(0), so any non-positive value means "all cores";
+// results are identical for every worker count. A nil circuit panics
+// here with a clear message instead of failing later inside Acquire.
 func NewSimulator(c *netlist.Circuit, workers int) *Simulator {
+	if c == nil {
+		panic("sim: NewSimulator called with nil circuit")
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -263,6 +270,15 @@ func (s *Simulator) Run(seq logic.Sequence, faults []fault.Fault, opts Options) 
 
 // runInto is Run writing detections into the caller-provided det slice
 // (len(det) == len(faults)), which becomes the result's DetectedAt.
+//
+// With opts.Control set, batch boundaries are cancellation points:
+// workers stop claiming batches once the budget stops the run (or once
+// any batch fails), in-flight batches drain, and the partial detection
+// state is checkpointed. Worker panics are recovered into a PanicError
+// on Result.Err; without a Control the PanicError re-panics on the
+// calling goroutine so legacy callers keep fail-fast semantics, but the
+// process can no longer die (or leak workers) from a panic on an
+// unattended worker goroutine.
 func (s *Simulator) runInto(seq logic.Sequence, faults []fault.Fault, opts Options, det []int) Result {
 	res := Result{DetectedAt: det}
 	for i := range det {
@@ -271,10 +287,24 @@ func (s *Simulator) runInto(seq logic.Sequence, faults []fault.Fault, opts Optio
 	if len(seq) == 0 || len(faults) == 0 {
 		return res
 	}
+	ctl := opts.Control
+	nBatches := (len(faults) + Slots - 1) / Slots
+	done := make([]bool, nBatches)
+	resumed := false
+	if ctl.Resuming() {
+		var err error
+		resumed, err = loadSimCheckpoint(ctl, len(faults), len(seq), nBatches, done, det)
+		if err != nil {
+			res.Status = runctl.Failed
+			res.Err = err
+			ctl.Fail()
+			return res
+		}
+	}
+
 	tr := s.acquireTrace(seq, opts)
 	defer s.releaseTrace(tr)
 
-	nBatches := (len(faults) + Slots - 1) / Slots
 	nw := s.workers
 	if nw > nBatches {
 		nw = nBatches
@@ -282,16 +312,36 @@ func (s *Simulator) runInto(seq logic.Sequence, faults []fault.Fault, opts Optio
 	if nw <= 1 {
 		m := s.Acquire()
 		for bi := 0; bi < nBatches; bi++ {
-			steps, skipped := s.runBatchKernel(m, tr, seq, faults, bi*Slots, opts, det)
+			if done[bi] {
+				continue
+			}
+			if st, stop := ctl.ShouldStop(); stop {
+				res.Status = st
+				break
+			}
+			steps, skipped, err := s.runBatchSafe(m, tr, seq, faults, bi, opts, det)
 			res.BatchSteps += steps
 			res.FastForwarded += skipped
+			if err != nil {
+				res.Err = err
+				res.Status = runctl.Failed
+				ctl.Fail()
+				break
+			}
+			done[bi] = true
+			if ctl != nil && ctl.Store != nil {
+				saveSimCheckpoint(ctl, len(seq), done, det, true)
+			}
 		}
 		s.Release(m)
-		return res
+		return s.finishRun(res, ctl, opts, seq, done, det, resumed)
 	}
 
 	var next atomic.Int64
 	var wg sync.WaitGroup
+	var failed atomic.Bool
+	var errMu sync.Mutex
+	var firstErr error
 	steps := make([]int64, nw)
 	skips := make([]int64, nw)
 	for w := 0; w < nw; w++ {
@@ -301,15 +351,35 @@ func (s *Simulator) runInto(seq logic.Sequence, faults []fault.Fault, opts Optio
 			m := s.Acquire()
 			defer s.Release(m)
 			for {
+				if failed.Load() {
+					return
+				}
+				if _, stop := ctl.ShouldStop(); stop {
+					return
+				}
 				bi := int(next.Add(1)) - 1
 				if bi >= nBatches {
 					return
 				}
-				// Batches write disjoint DetectedAt indices, so no
-				// synchronization beyond the WaitGroup is needed.
-				st, sk := s.runBatchKernel(m, tr, seq, faults, bi*Slots, opts, det)
+				if done[bi] {
+					continue
+				}
+				// Batches write disjoint DetectedAt and done indices, so
+				// no synchronization beyond the WaitGroup is needed.
+				st, sk, err := s.runBatchSafe(m, tr, seq, faults, bi, opts, det)
 				steps[w] += st
 				skips[w] += sk
+				if err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					failed.Store(true)
+					ctl.Fail()
+					return
+				}
+				done[bi] = true
 			}
 		}(w)
 	}
@@ -318,7 +388,47 @@ func (s *Simulator) runInto(seq logic.Sequence, faults []fault.Fault, opts Optio
 		res.BatchSteps += steps[w]
 		res.FastForwarded += skips[w]
 	}
+	if firstErr != nil {
+		res.Err = firstErr
+		res.Status = runctl.Failed
+	} else if st, stop := ctl.ShouldStop(); stop {
+		res.Status = st
+	}
+	return s.finishRun(res, ctl, opts, seq, done, det, resumed)
+}
+
+// finishRun settles the result's final Status, persists the checkpoint,
+// and re-panics recovered worker failures for control-less callers.
+func (s *Simulator) finishRun(res Result, ctl *runctl.Control, opts Options, seq logic.Sequence, done []bool, det []int, resumed bool) Result {
+	if res.Err != nil && ctl == nil {
+		panic(res.Err)
+	}
+	if !res.Status.Stopped() {
+		res.Status = runctl.Final(resumed)
+	}
+	if ctl != nil && ctl.Store != nil {
+		if err := saveSimCheckpoint(ctl, len(seq), done, det, false); err != nil && res.Err == nil {
+			res.Err = err
+		}
+	}
 	return res
+}
+
+// runBatchSafe runs one fault batch through the selected kernel,
+// converting a panic anywhere under it into a PanicError that names the
+// batch's global fault index range and carries the stack.
+func (s *Simulator) runBatchSafe(m *Machine, tr *goodTrace, seq logic.Sequence, faults []fault.Fault, bi int, opts Options, out []int) (steps, skipped int64, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			end := (bi + 1) * Slots
+			if end > len(faults) {
+				end = len(faults)
+			}
+			err = &PanicError{BatchStart: bi * Slots, BatchEnd: end, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	steps, skipped = s.runBatchKernel(m, tr, seq, faults, bi*Slots, opts, out)
+	return steps, skipped, nil
 }
 
 // runBatchKernel dispatches one fault batch to the kernel selected by
