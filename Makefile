@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench fuzz clean
+.PHONY: build test race vet bench fuzz metrics-check clean
 
 build:
 	$(GO) build ./...
@@ -32,6 +32,15 @@ FUZZTIME ?= 20s
 
 fuzz:
 	$(GO) test -fuzz=FuzzParse -fuzztime $(FUZZTIME) ./internal/bench
+
+# metrics-check exercises the -metrics flight recorder end to end: a
+# tiny s27 generation+compaction run writes a JSONL file, and
+# cmd/metricscheck validates it against the schema (ALGORITHMS.md §11).
+metrics-check:
+	tmp=$$(mktemp /tmp/metrics.XXXXXX.jsonl); \
+	trap 'rm -f $$tmp' EXIT; \
+	$(GO) run ./cmd/scangen -circuit s27 -compact -no-baseline -metrics $$tmp >/dev/null && \
+	$(GO) run ./cmd/metricscheck $$tmp
 
 clean:
 	rm -f BENCH_sim.json

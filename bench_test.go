@@ -201,8 +201,8 @@ func BenchmarkMultiChainAblation(b *testing.B) {
 			var omitted Sequence
 			for i := 0; i < b.N; i++ {
 				gen := Generate(ch, faults, GenerateOptions{Seed: 1})
-				restored, _ := Restore(ch.Scan, gen.Sequence, faults)
-				omitted, _ = Omit(ch.Scan, restored, faults)
+				restored, _ := Restore(ch, gen.Sequence, faults)
+				omitted, _ = Omit(ch, restored, faults)
 			}
 			b.ReportMetric(float64(ch.MaxLen()), "complete_scan_cycles")
 			b.ReportMetric(float64(len(omitted)), "omit_cycles")

@@ -1,0 +1,48 @@
+// Command metricscheck validates a JSONL metrics file produced by the
+// -metrics flag of scangen/scansim/scantrans against the flight
+// recorder's schema (internal/obs): run headers, monotonically
+// sequenced events and snapshots, and a final counter snapshot. It is
+// the check behind `make metrics-check`.
+//
+// Usage:
+//
+//	scangen -circuit s27 -compact -metrics out.jsonl
+//	metricscheck out.jsonl
+//
+// Exit status is 0 with a one-line summary when the file is valid, 1
+// with the first violation otherwise.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: metricscheck FILE.jsonl")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "metricscheck:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	st, err := obs.Validate(f)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "metricscheck: %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s: OK — %d run(s), %d event(s), %d snapshot(s)\n",
+		path, st.Runs, st.Events, st.Snapshots)
+}

@@ -26,6 +26,7 @@ import (
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/prof"
 	"repro/internal/report"
 	"repro/internal/runctl"
@@ -47,6 +48,7 @@ func main() {
 		verbose    = flag.Bool("v", false, "progress to stderr")
 	)
 	rc := runctl.RegisterFlags("scangen")
+	oc := obs.RegisterFlags("scangen")
 	pf := prof.Register()
 	flag.Parse()
 	if err := pf.Start(); err != nil {
@@ -67,6 +69,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "scangen: -checkpoint needs a single -circuit run (suite circuits would fight over the file)")
 		os.Exit(2)
 	}
+	ort, err := oc.Build(rc.Resume)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scangen:", err)
+		os.Exit(2)
+	}
 
 	cfg := core.DefaultConfig()
 	cfg.Seed = *seed
@@ -76,6 +83,7 @@ func main() {
 	cfg.Chains = *chains
 	cfg.Workers = *workers
 	cfg.Control = ctl
+	cfg.Obs = ort.Observer()
 
 	switch {
 	case *circuit != "":
@@ -86,6 +94,16 @@ func main() {
 		fmt.Fprintln(os.Stderr, "scangen: need -circuit NAME or -suite small|medium|full")
 		flag.Usage()
 		os.Exit(2)
+	}
+	if s := ort.Summary(); s != nil {
+		if out := report.ObsSummary(*s); out != "" {
+			fmt.Println()
+			fmt.Print(out)
+		}
+	}
+	if err := ort.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "scangen:", err)
+		os.Exit(1)
 	}
 }
 

@@ -8,6 +8,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // buildScangen compiles the command into the test's temp dir.
@@ -137,6 +139,72 @@ func TestSigintCheckpointResume(t *testing.T) {
 	}
 	if !bytes.Equal(refData, outData) {
 		t.Fatal("post-SIGINT resume diverged from uninterrupted run")
+	}
+}
+
+// TestMetricsFlightRecorder runs the acceptance command — a flow with
+// -metrics and an ephemeral -debug-addr — and checks the emitted JSONL
+// validates against the schema with a final counter snapshot.
+func TestMetricsFlightRecorder(t *testing.T) {
+	bin := buildScangen(t)
+	metrics := filepath.Join(t.TempDir(), "out.jsonl")
+	o := run(t, bin, "-circuit", "s27", "-compact", "-no-baseline",
+		"-metrics", metrics, "-debug-addr", "127.0.0.1:0")
+	if !strings.Contains(o, "metrics at http://") {
+		t.Errorf("missing debug endpoint banner:\n%s", o)
+	}
+	if !strings.Contains(o, "Run metrics") || !strings.Contains(o, "generate.attempts") {
+		t.Errorf("missing metrics summary table:\n%s", o)
+	}
+	f, err := os.Open(metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	st, err := obs.Validate(f)
+	if err != nil {
+		t.Fatalf("metrics file invalid: %v", err)
+	}
+	if st.Runs != 1 || st.Events == 0 || !st.FinalSnapshot {
+		t.Errorf("stats = %+v, want 1 run, events, final snapshot", st)
+	}
+}
+
+// TestMetricsResumeAppends checks that -resume legs append to the same
+// metrics file as new run headers and the multi-leg file still
+// validates.
+func TestMetricsResumeAppends(t *testing.T) {
+	bin := buildScangen(t)
+	dir := t.TempDir()
+	metrics := filepath.Join(dir, "out.jsonl")
+	ckpt := filepath.Join(dir, "run.ckpt")
+	base := []string{"-circuit", "s344", "-no-baseline", "-seed", "1",
+		"-metrics", metrics, "-checkpoint", ckpt, "-resume"}
+	legs := 0
+	for {
+		o := run(t, bin, append(base, "-max-attempts", "10")...)
+		legs++
+		if strings.Contains(o, "run status: resumed") || strings.Contains(o, "run status: complete") {
+			break
+		}
+		if legs > 100 {
+			t.Fatal("run never completed")
+		}
+	}
+	if legs < 2 {
+		t.Fatal("budget never interrupted the run; test is vacuous")
+	}
+	f, err := os.Open(metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	st, err := obs.Validate(f)
+	if err != nil {
+		t.Fatalf("multi-leg metrics file invalid: %v", err)
+	}
+	if st.Runs != legs {
+		t.Errorf("metrics file has %d run headers, want %d", st.Runs, legs)
 	}
 }
 

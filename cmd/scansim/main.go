@@ -25,6 +25,7 @@ import (
 	"repro/internal/diagnose"
 	"repro/internal/fault"
 	"repro/internal/logic"
+	"repro/internal/obs"
 	"repro/internal/prof"
 	"repro/internal/report"
 	"repro/internal/runctl"
@@ -51,6 +52,7 @@ func main() {
 		kernel     = flag.String("kernel", "event", "fault-simulation kernel: event or full (results are identical)")
 	)
 	rc := runctl.RegisterFlags("scansim")
+	oc := obs.RegisterFlags("scansim")
 	pf := prof.Register()
 	flag.Parse()
 	var simOpts sim.Options
@@ -81,6 +83,22 @@ func main() {
 		fmt.Fprintln(os.Stderr, "scansim:", err)
 		os.Exit(2)
 	}
+	ort, err := oc.Build(rc.Resume)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scansim:", err)
+		os.Exit(2)
+	}
+	defer func() {
+		if s := ort.Summary(); s != nil {
+			if out := report.ObsSummary(*s); out != "" {
+				fmt.Println()
+				fmt.Print(out)
+			}
+		}
+		if err := ort.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "scansim:", err)
+		}
+	}()
 	c, err := circuits.Load(*circuit)
 	if err != nil {
 		fail(err)
@@ -93,7 +111,7 @@ func main() {
 
 	var seq logic.Sequence
 	if *gen {
-		res := seqatpg.Generate(sc, faults, seqatpg.Options{Seed: *seed, Workers: *workers, Control: ctl})
+		res := seqatpg.Generate(sc, faults, seqatpg.Options{Seed: *seed, Workers: *workers, Control: ctl, Obs: ort.Observer()})
 		if res.Err != nil {
 			fail(res.Err)
 		}
@@ -138,6 +156,7 @@ func main() {
 		fmt.Println("sequence structure: OK (widths match, fully specified)")
 	}
 	sm := sim.NewSimulator(sc.Scan, *workers)
+	sm.Observe(ort.Observer())
 	simOpts.Control = ctl
 	res := sm.Run(seq, faults, simOpts)
 	if res.Err != nil {

@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/report"
 )
 
@@ -30,12 +31,19 @@ func main() {
 		omitCap    = flag.Int("omit-cap", 0, "skip omission when the restored sequence exceeds this many vectors (0 = never)")
 		verbose    = flag.Bool("v", false, "progress to stderr")
 	)
+	oc := obs.RegisterFlags("scantrans")
 	flag.Parse()
+	ort, err := oc.Build(false)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scantrans:", err)
+		os.Exit(2)
+	}
 
 	cfg := core.DefaultConfig()
 	cfg.Seed = *seed
 	cfg.Collapse = !*noCollapse
 	cfg.OmitLenCap = *omitCap
+	cfg.Obs = ort.Observer()
 
 	switch {
 	case *circuit != "":
@@ -93,5 +101,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, "scantrans: need -circuit NAME or -suite small|medium|full|table7")
 		flag.Usage()
 		os.Exit(2)
+	}
+	if s := ort.Summary(); s != nil {
+		if out := report.ObsSummary(*s); out != "" {
+			fmt.Println()
+			fmt.Print(out)
+		}
+	}
+	if err := ort.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "scantrans:", err)
+		os.Exit(1)
 	}
 }

@@ -1,6 +1,7 @@
 package scanatpg_test
 
 import (
+	"bytes"
 	"fmt"
 
 	scanatpg "repro"
@@ -58,6 +59,36 @@ func ExampleInsertScanChains() {
 	ch, _ := scanatpg.InsertScanChains(c, 4)
 	fmt.Println(ch.NumChains(), ch.MaxLen())
 	// Output: 4 4
+}
+
+// Observing a run: the flight recorder streams phase events as JSONL
+// to any writer and aggregates named counters, without changing any
+// result.
+func ExampleNewMetricsRecorder() {
+	c, _ := scanatpg.LoadBenchmark("s27")
+	sc, _ := scanatpg.InsertScan(c)
+	faults := scanatpg.Faults(sc.Scan, true)
+	var buf bytes.Buffer
+	rec := scanatpg.NewMetricsRecorder(&buf, scanatpg.MetricsRecorderOptions{Program: "example"})
+	opts := scanatpg.GenerateOptions{Seed: 1}
+	opts.Obs = rec
+	scanatpg.Generate(sc, faults, opts)
+	rec.Close()
+	fmt.Println(scanatpg.ValidateMetrics(&buf) == nil,
+		rec.Snapshot().Counters["generate.attempts"] > 0)
+	// Output: true true
+}
+
+// Budgeting a run: the generator stops cleanly at the attempt cap with
+// a valid partial result a checkpoint could continue.
+func ExampleGenerateWithControl() {
+	c, _ := scanatpg.LoadBenchmark("s27")
+	sc, _ := scanatpg.InsertScan(c)
+	faults := scanatpg.Faults(sc.Scan, true)
+	ctl := &scanatpg.Control{Budget: scanatpg.Budget{MaxAttempts: 1}}
+	res := scanatpg.GenerateWithControl(sc, faults, scanatpg.GenerateOptions{Seed: 1}, ctl)
+	fmt.Println(res.Status)
+	// Output: budget exhausted
 }
 
 // Proving untestability: the classification bounds achievable coverage.

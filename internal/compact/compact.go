@@ -27,6 +27,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/logic"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/runctl"
 	"repro/internal/sim"
 )
@@ -54,6 +55,13 @@ type Options struct {
 	// bit-identical to an uninterrupted one. The Control is never
 	// forwarded to inner fault-simulation runs.
 	Control *runctl.Control
+	// Obs, when non-nil, receives the pass's instrumentation under the
+	// "restore" or "omit" phase: per-position and per-window events,
+	// trial/step counters and the pass timer (docs/ALGORITHMS.md §11).
+	// Purely observational — the compacted output is identical with or
+	// without it. A private simulator built by the pass is observed
+	// too; a caller-supplied Sim keeps whatever observer it already has.
+	Obs obs.Observer
 }
 
 func (o Options) simulator(c *netlist.Circuit) *sim.Simulator {
@@ -101,7 +109,19 @@ func Restore(c *netlist.Circuit, seq logic.Sequence, faults []fault.Fault) (logi
 // identical for every Options value.
 func RestoreOpts(c *netlist.Circuit, seq logic.Sequence, faults []fault.Fault, opts Options) (logic.Sequence, Stats) {
 	s := opts.simulator(c)
+	ob := opts.Obs
+	if opts.Sim == nil {
+		s.Observe(ob)
+	}
+	defer obs.T(ob, "restore.time").Start()()
+	cTrials := obs.C(ob, "restore.trials")
+	cCovered := obs.C(ob, "restore.window_covered")
+	cRestored := obs.C(ob, "restore.restored_vectors")
 	st := Stats{BeforeLen: len(seq)}
+	defer func() {
+		obs.C(ob, "restore.simulations").Add(int64(st.Simulations))
+		obs.C(ob, "restore.batch_steps").Add(st.BatchSteps)
+	}()
 	base := s.Run(seq, faults, sim.Options{})
 	st.Simulations++
 	st.BatchSteps += base.BatchSteps
@@ -170,6 +190,12 @@ func RestoreOpts(c *netlist.Circuit, seq logic.Sequence, faults []fault.Fault, o
 		}
 	}
 	st.Status = runctl.Final(resumed)
+	obs.Emit(ob, "restore", "start",
+		obs.F("vectors", len(seq)), obs.F("faults", len(faults)),
+		obs.F("targets", st.TargetFaults))
+	if resumed {
+		obs.Emit(ob, "restore", "resume", obs.F("pos", startPos))
+	}
 	group := make([]int, 0, sim.Slots)
 	fbuf := make([]fault.Fault, 0, sim.Slots)
 	detBuf := make([]int, 0, sim.Slots)
@@ -180,6 +206,7 @@ func RestoreOpts(c *netlist.Circuit, seq logic.Sequence, faults []fault.Fault, o
 			break
 		}
 		fi := order[pos]
+		cTrials.Inc()
 		if !covered[fi] {
 			// Batch-check this fault together with the next
 			// still-uncovered ones in its 64-wide window.
@@ -200,16 +227,21 @@ func RestoreOpts(c *netlist.Circuit, seq logic.Sequence, faults []fault.Fault, o
 			for i, gi := range group {
 				if r.Detected(i) {
 					covered[gi] = true
+					cCovered.Inc()
 				}
 			}
 		}
 		if covered[fi] {
+			obs.Emit(ob, "restore", "fault",
+				obs.F("pos", pos), obs.F("fault", fi),
+				obs.F("covered", true), obs.F("restored", 0))
 			continue
 		}
 		// For long sequences vectors are restored in small blocks
 		// before re-checking detection; omission cleans up any excess
 		// afterwards. Block size 1 reproduces plain [23].
 		block := 1 + len(seq)/1500
+		restoredHere := 0
 		for t := base.DetectedAt[fi]; t >= 0; {
 			added := 0
 			for ; t >= 0 && added < block; t-- {
@@ -221,10 +253,15 @@ func RestoreOpts(c *netlist.Circuit, seq logic.Sequence, faults []fault.Fault, o
 			if added == 0 {
 				break
 			}
+			restoredHere += added
 			if detects(fi) {
 				break
 			}
 		}
+		cRestored.Add(int64(restoredHere))
+		obs.Emit(ob, "restore", "fault",
+			obs.F("pos", pos), obs.F("fault", fi),
+			obs.F("covered", false), obs.F("restored", restoredHere))
 		st.Err = saveRestoreCheckpoint(ctl, len(seq), len(faults), pos+1, kept, covered, false, false)
 	}
 	if st.Status.Done() {
@@ -239,6 +276,9 @@ func RestoreOpts(c *netlist.Circuit, seq logic.Sequence, faults []fault.Fault, o
 		ctl.Fail()
 		st.Status = runctl.Failed
 	}
+	obs.Emit(ob, "restore", "done",
+		obs.F("before", st.BeforeLen), obs.F("after", st.AfterLen),
+		obs.F("extra", st.ExtraDetected), obs.F("status", st.Status.String()))
 	return out, st
 }
 
@@ -268,9 +308,21 @@ func Omit(c *netlist.Circuit, seq logic.Sequence, faults []fault.Fault) (logic.S
 // identical for every Options value.
 func OmitOpts(c *netlist.Circuit, seq logic.Sequence, faults []fault.Fault, opts Options) (logic.Sequence, Stats) {
 	s := opts.simulator(c)
+	ob := opts.Obs
+	if opts.Sim == nil {
+		s.Observe(ob)
+	}
+	defer obs.T(ob, "omit.time").Start()()
+	cWindows := obs.C(ob, "omit.windows")
 	st := Stats{BeforeLen: len(seq)}
+	defer func() {
+		obs.C(ob, "omit.simulations").Add(int64(st.Simulations))
+		obs.C(ob, "omit.batch_steps").Add(st.BatchSteps)
+	}()
 	o := newOmitter(s, seq, faults)
 	defer o.close()
+	o.cTrials = obs.C(ob, "omit.trials")
+	o.cRemoved = obs.C(ob, "omit.removed_vectors")
 	base := sim.Result{DetectedAt: append([]int(nil), o.detAt...)}
 	for _, t := range o.detAt {
 		if t != sim.NotDetected {
@@ -300,6 +352,12 @@ func OmitOpts(c *netlist.Circuit, seq logic.Sequence, faults []fault.Fault, opts
 		}
 	}
 	st.Status = runctl.Final(resumed)
+	obs.Emit(ob, "omit", "start",
+		obs.F("vectors", len(seq)), obs.F("faults", len(faults)),
+		obs.F("targets", st.TargetFaults))
+	if resumed {
+		obs.Emit(ob, "omit", "resume", obs.F("next_t", startT))
+	}
 
 	// slack bounds how far past its previous detection time a fault is
 	// allowed to drift during a trial. Trials are simulated only up to
@@ -347,12 +405,17 @@ func OmitOpts(c *netlist.Circuit, seq logic.Sequence, faults []fault.Fault, opts
 			snapKept = o.keptMask(len(seq))
 			snapDet = append([]int(nil), o.detAt...)
 		}
+		before := len(o.cur)
 		removeRange(lo, t)
 		if o.stopStatus.Stopped() {
 			st.Status = o.stopStatus
 			st.Err = saveOmitCheckpoint(ctl, len(seq), len(faults), t, snapKept, snapDet, false, true)
 			break
 		}
+		cWindows.Inc()
+		obs.Emit(ob, "omit", "window",
+			obs.F("lo", lo), obs.F("hi", t),
+			obs.F("removed", before-len(o.cur)), obs.F("len", len(o.cur)))
 		st.Err = saveOmitCheckpoint(ctl, len(seq), len(faults), lo, o.keptMask(len(seq)), o.detAt, false, false)
 		t = lo
 	}
@@ -369,6 +432,9 @@ func OmitOpts(c *netlist.Circuit, seq logic.Sequence, faults []fault.Fault, opts
 		ctl.Fail()
 		st.Status = runctl.Failed
 	}
+	obs.Emit(ob, "omit", "done",
+		obs.F("before", st.BeforeLen), obs.F("after", st.AfterLen),
+		obs.F("extra", st.ExtraDetected), obs.F("status", st.Status.String()))
 	return o.cur, st
 }
 
@@ -403,7 +469,11 @@ func RestoreThenOmit(c *netlist.Circuit, seq logic.Sequence, faults []fault.Faul
 // RestoreThenOmitOpts is RestoreThenOmit with explicit Options; both
 // passes share one simulator (and machine pool).
 func RestoreThenOmitOpts(c *netlist.Circuit, seq logic.Sequence, faults []fault.Fault, opts Options) (restored, omitted logic.Sequence, rst, ost Stats) {
+	private := opts.Sim == nil
 	opts.Sim = opts.simulator(c)
+	if private {
+		opts.Sim.Observe(opts.Obs)
+	}
 	restored, rst = RestoreOpts(c, seq, faults, opts)
 	if rst.Status.Stopped() {
 		// Omission must not run (or checkpoint) against a partial

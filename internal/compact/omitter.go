@@ -7,6 +7,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/logic"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/runctl"
 	"repro/internal/sim"
 )
@@ -46,6 +47,11 @@ type omitter struct {
 	// so the window loop can wind down and checkpoint.
 	ctl        *runctl.Control
 	stopStatus runctl.Status
+
+	// cTrials and cRemoved are nil-safe observation counters (removal
+	// trials attempted, vectors actually removed); OmitOpts sets them.
+	cTrials  *obs.Counter
+	cRemoved *obs.Counter
 }
 
 type omitBatch struct {
@@ -214,6 +220,7 @@ func (o *omitter) tryRemove(lo, hi, slack int) bool {
 		o.stopStatus = st
 		return false
 	}
+	o.cTrials.Inc()
 	removed := hi - lo
 	// Per batch: the affected mask and the latest affected detection
 	// expressed in post-removal indices.
@@ -360,6 +367,7 @@ func (o *omitter) tryRemove(lo, hi, slack int) bool {
 
 // commit applies the removal and the re-recorded detection times.
 func (o *omitter) commit(lo, hi int, newTimes map[int]int) {
+	o.cRemoved.Add(int64(hi - lo))
 	o.cur = append(o.cur[:lo], o.cur[hi:]...)
 	o.idx = append(o.idx[:lo], o.idx[hi:]...)
 	for fi, t := range newTimes {

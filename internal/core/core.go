@@ -19,6 +19,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/logic"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/runctl"
 	"repro/internal/scan"
 	"repro/internal/seqatpg"
@@ -66,6 +67,12 @@ type Config struct {
 	// suite runs must not attach a checkpoint Store (each circuit would
 	// fight over the same sections).
 	Control *runctl.Control
+	// Obs, when non-nil, observes the whole flow: stage events under the
+	// "flow" phase plus the engines' own instrumentation (the generator's
+	// "generate" phase, the compaction passes' "restore"/"omit" phases
+	// and the shared simulator's "sim" counters). Purely observational —
+	// every result is identical with or without it.
+	Obs obs.Observer
 }
 
 // DefaultConfig returns the configuration the experiments use.
@@ -114,6 +121,9 @@ type GenerateArtifacts struct {
 // circuit.
 func RunGenerate(name string, cfg Config) (GenerateRow, *GenerateArtifacts, error) {
 	ctl := cfg.Control
+	defer obs.T(cfg.Obs, "flow.time").Start()()
+	obs.Emit(cfg.Obs, "flow", "start",
+		obs.F("flow", "generate"), obs.F("circuit", name), obs.F("seed", cfg.Seed))
 	if err := checkMeta(ctl, "generate", name, cfg); err != nil {
 		ctl.Fail()
 		return GenerateRow{Circ: name, Status: runctl.Failed}, nil, err
@@ -146,7 +156,11 @@ func RunGenerate(name string, cfg Config) (GenerateRow, *GenerateArtifacts, erro
 		seqOpts.Workers = cfg.Workers
 	}
 	seqOpts.Control = ctl
+	seqOpts.Obs = cfg.Obs
 	gen := seqatpg.Generate(sc, faults, seqOpts)
+	obs.Emit(cfg.Obs, "flow", "generated",
+		obs.F("vectors", len(gen.Sequence)), obs.F("detected", gen.NumDetected()),
+		obs.F("status", gen.Status.String()))
 
 	art := &GenerateArtifacts{Scan: sc, Faults: faults, Gen: gen, Raw: gen.Sequence}
 	row := GenerateRow{
@@ -175,7 +189,8 @@ func RunGenerate(name string, cfg Config) (GenerateRow, *GenerateArtifacts, erro
 		// One simulator (and so one machine pool) serves both compaction
 		// passes and the final extra-detection check.
 		s := sim.NewSimulator(cs, cfg.Workers)
-		copts := compact.Options{Sim: s, Control: ctl}
+		s.Observe(cfg.Obs)
+		copts := compact.Options{Sim: s, Control: ctl, Obs: cfg.Obs}
 		restored, rst := compact.RestoreOpts(cs, gen.Sequence, faults, copts)
 		if rst.Status != runctl.Complete {
 			row.Status = rst.Status
@@ -202,6 +217,9 @@ func RunGenerate(name string, cfg Config) (GenerateRow, *GenerateArtifacts, erro
 		if row.Status.Done() {
 			row.ExtDet = extraDetections(s, gen, omitted, faults)
 		}
+		obs.Emit(cfg.Obs, "flow", "compacted",
+			obs.F("restored", len(restored)), obs.F("omitted", len(omitted)),
+			obs.F("extra", row.ExtDet))
 	}
 
 	if row.Status.Stopped() {
@@ -218,7 +236,11 @@ func RunGenerate(name string, cfg Config) (GenerateRow, *GenerateArtifacts, erro
 		base := baseline.Generate(c, fault.Universe(c, cfg.Collapse), baseOpts)
 		art.Baseline = base
 		row.BaselineCycles = base.Cycles
+		obs.Emit(cfg.Obs, "flow", "baseline", obs.F("cycles", base.Cycles))
 	}
+	obs.Emit(cfg.Obs, "flow", "done",
+		obs.F("flow", "generate"), obs.F("circuit", name),
+		obs.F("status", row.Status.String()))
 	return row, art, nil
 }
 
@@ -311,6 +333,9 @@ type TranslateArtifacts struct {
 // RunTranslate executes the translation flow on the named catalog
 // circuit: generate a conventional test set, translate it, compact it.
 func RunTranslate(name string, cfg Config) (TranslateRow, *TranslateArtifacts, error) {
+	defer obs.T(cfg.Obs, "flow.time").Start()()
+	obs.Emit(cfg.Obs, "flow", "start",
+		obs.F("flow", "translate"), obs.F("circuit", name), obs.F("seed", cfg.Seed))
 	c, err := circuits.Load(name)
 	if err != nil {
 		return TranslateRow{}, nil, err
@@ -332,6 +357,8 @@ func RunTranslate(name string, cfg Config) (TranslateRow, *TranslateArtifacts, e
 	if err != nil {
 		return TranslateRow{}, nil, err
 	}
+	obs.Emit(cfg.Obs, "flow", "translated",
+		obs.F("tests", len(base.Tests)), obs.F("vectors", len(seq)))
 	scanFaults := fault.Universe(sc.Scan, cfg.Collapse)
 	row := TranslateRow{
 		Circ:     name,
@@ -341,7 +368,9 @@ func RunTranslate(name string, cfg Config) (TranslateRow, *TranslateArtifacts, e
 	}
 	art := &TranslateArtifacts{Scan: sc, Base: base, Translated: seq, ScanFaults: scanFaults}
 	if !cfg.SkipCompaction {
-		copts := compact.Options{Sim: sim.NewSimulator(sc.Scan, cfg.Workers)}
+		s := sim.NewSimulator(sc.Scan, cfg.Workers)
+		s.Observe(cfg.Obs)
+		copts := compact.Options{Sim: s, Obs: cfg.Obs}
 		restored, _ := compact.RestoreOpts(sc.Scan, seq, scanFaults, copts)
 		omitted := restored
 		if cfg.OmitLenCap == 0 || len(restored) <= cfg.OmitLenCap {
@@ -352,7 +381,12 @@ func RunTranslate(name string, cfg Config) (TranslateRow, *TranslateArtifacts, e
 		row.RestorScan = sc.CountScanVectors(restored)
 		row.OmitLen = len(omitted)
 		row.OmitScan = sc.CountScanVectors(omitted)
+		obs.Emit(cfg.Obs, "flow", "compacted",
+			obs.F("restored", len(restored)), obs.F("omitted", len(omitted)))
 	}
+	obs.Emit(cfg.Obs, "flow", "done",
+		obs.F("flow", "translate"), obs.F("circuit", name),
+		obs.F("status", runctl.Complete.String()))
 	return row, art, nil
 }
 

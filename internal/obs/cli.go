@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+// CLI bundles the observability command-line parameters the tools
+// share: the JSONL flight-recorder file and the debug HTTP endpoint.
+type CLI struct {
+	Metrics       string
+	DebugAddr     string
+	SnapshotEvery int
+	// Program names the tool in the run header and log lines.
+	Program string
+}
+
+// RegisterFlags registers the shared observability flags on the
+// default flag set and returns the CLI to Build after flag.Parse.
+func RegisterFlags(program string) *CLI {
+	c := &CLI{Program: program}
+	flag.StringVar(&c.Metrics, "metrics", "", "write a JSONL flight recorder (phase events + counter snapshots) to this file")
+	flag.StringVar(&c.DebugAddr, "debug-addr", "", "serve the live counter snapshot over HTTP on this address (e.g. :6060 or :0)")
+	flag.IntVar(&c.SnapshotEvery, "metrics-every", 0, "write a counter snapshot every n-th event (0 = default 256)")
+	return c
+}
+
+// Runtime is the built observability state of one command invocation.
+// Every method is safe on a nil Runtime, and Observer returns nil when
+// no observation was requested, so commands wire it unconditionally.
+type Runtime struct {
+	rec  *Recorder
+	file *os.File
+	srv  *Server
+}
+
+// Build validates the parameters and constructs the Runtime, or
+// returns (nil, nil) when no observation was requested. resume opens
+// the metrics file in append mode (pairing with -resume checkpoint
+// runs) so one file carries all legs of a run; a fresh run truncates.
+func (c *CLI) Build(resume bool) (*Runtime, error) {
+	if c.Metrics == "" && c.DebugAddr == "" {
+		return nil, nil
+	}
+	rt := &Runtime{}
+	var err error
+	if c.Metrics != "" {
+		mode := os.O_CREATE | os.O_WRONLY | os.O_TRUNC
+		if resume {
+			mode = os.O_CREATE | os.O_WRONLY | os.O_APPEND
+		}
+		rt.file, err = os.OpenFile(c.Metrics, mode, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("%s: -metrics: %w", c.Program, err)
+		}
+	}
+	ropts := RecorderOptions{SnapshotEvery: c.SnapshotEvery, Program: c.Program, Resumed: resume && rt.file != nil}
+	if rt.file != nil {
+		rt.rec = NewRecorder(rt.file, ropts)
+	} else {
+		rt.rec = NewRecorder(nil, ropts)
+	}
+	if c.DebugAddr != "" {
+		rt.srv, err = Serve(c.DebugAddr, rt.rec)
+		if err != nil {
+			rt.Close()
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "%s: metrics at http://%s/metrics\n", c.Program, rt.srv.Addr())
+	}
+	return rt, nil
+}
+
+// Observer returns the run's Observer, or nil when observation is off.
+func (rt *Runtime) Observer() Observer {
+	if rt == nil || rt.rec == nil {
+		return nil
+	}
+	return rt.rec
+}
+
+// Summary returns the final instrument snapshot, or nil when
+// observation is off. Call after the run completes.
+func (rt *Runtime) Summary() *Snapshot {
+	if rt == nil || rt.rec == nil {
+		return nil
+	}
+	s := rt.rec.Snapshot()
+	return &s
+}
+
+// Close writes the final snapshot, flushes and closes the metrics file
+// and stops the debug endpoint.
+func (rt *Runtime) Close() error {
+	if rt == nil {
+		return nil
+	}
+	var first error
+	if rt.rec != nil {
+		if err := rt.rec.Close(); err != nil {
+			first = err
+		}
+	}
+	if rt.file != nil {
+		if err := rt.file.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if rt.srv != nil {
+		if err := rt.srv.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,60 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Server is the expvar-style debug endpoint for long runs: a tiny HTTP
+// server exposing the live instrument snapshot so a run's progress is
+// observable without touching the process. Routes:
+//
+//	/metrics — the Snapshot as a JSON object
+//	/        — the same data as sorted "name value" text lines
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve binds addr (":0" picks an ephemeral port) and serves src's
+// snapshots until Close.
+func Serve(addr string, src Snapshotter) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: debug endpoint: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(src.Snapshot())
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		s := src.Snapshot()
+		for _, name := range s.Names() {
+			if v, ok := s.Counters[name]; ok {
+				fmt.Fprintf(w, "%s %d\n", name, v)
+			}
+			if v, ok := s.Gauges[name]; ok {
+				fmt.Fprintf(w, "%s %d\n", name, v)
+			}
+			if t, ok := s.Timers[name]; ok {
+				fmt.Fprintf(w, "%s %v/%d\n", name, time.Duration(t.Nanos), t.Count)
+			}
+		}
+	})
+	s := &Server{ln: ln, srv: &http.Server{Handler: mux}}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the listener down.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -1,0 +1,185 @@
+// Package obs is the zero-dependency observability layer threaded
+// through the library's algorithmic engines: test generation
+// (seqatpg.Generate), static compaction (compact.RestoreOpts/OmitOpts),
+// fault simulation (sim.Simulator) and the core flows. It answers the
+// question the end-of-run tables cannot: where the attempts, trials and
+// simulation batches actually go.
+//
+// The design splits instrumentation into two tiers:
+//
+//   - Counters, gauges and timers are atomic values resolved once per
+//     run (by name, through the Observer) and updated lock-free from
+//     any goroutine, including simulation workers. Their methods are
+//     safe on nil receivers and a nil Observer resolves to nil
+//     instruments, so the disabled path costs a nil check per update —
+//     engines instrument unconditionally.
+//   - Events are structured, phase-stamped records emitted only from an
+//     engine's orchestrating goroutine (never from workers). For a
+//     fixed seed the event stream is therefore deterministic at every
+//     worker count, which makes the JSONL flight recorder diffable
+//     across runs.
+//
+// A nil Observer is the default everywhere and must stay effectively
+// free: no allocation, no atomics, no branches beyond one nil check.
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter. All methods
+// are safe on a nil receiver (and do nothing), so engines can resolve
+// counters unconditionally and update them in hot paths.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by d.
+func (c *Counter) Add(d int64) {
+	if c != nil {
+		c.v.Add(d)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic last-value gauge, nil-safe like Counter.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set records the current value.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Max raises the gauge to v when v exceeds the current value.
+func (g *Gauge) Max(v int64) {
+	if g == nil {
+		return
+	}
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 on nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Timer accumulates wall-clock time over named spans, nil-safe like
+// Counter. Timings are observability only — never part of the
+// deterministic event stream.
+type Timer struct {
+	n  atomic.Int64
+	ns atomic.Int64
+}
+
+// Start begins one span and returns the function that ends it. On a
+// nil receiver the returned stop is a no-op and no clock is read.
+func (t *Timer) Start() func() {
+	if t == nil {
+		return func() {}
+	}
+	t0 := time.Now()
+	return func() { t.Observe(time.Since(t0)) }
+}
+
+// Observe adds one completed span of duration d.
+func (t *Timer) Observe(d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.n.Add(1)
+	t.ns.Add(int64(d))
+}
+
+// Stat returns the span count and total duration (zero on nil).
+func (t *Timer) Stat() (n int64, total time.Duration) {
+	if t == nil {
+		return 0, 0
+	}
+	return t.n.Load(), time.Duration(t.ns.Load())
+}
+
+// Field is one key/value pair of a structured event. Values must be
+// JSON-encodable; engines only emit deterministic values (never
+// durations or wall-clock readings).
+type Field struct {
+	Key string
+	Val any
+}
+
+// F builds a Field.
+func F(key string, val any) Field { return Field{Key: key, Val: val} }
+
+// Observer is the sink engines report to. Implementations must be safe
+// for concurrent use; the instruments they hand out are updated from
+// worker goroutines. Event is only ever called from an engine's
+// orchestrating goroutine.
+type Observer interface {
+	// Counter returns the named counter, created on first use. Names
+	// are dot-separated with the engine phase as the first segment
+	// (e.g. "sim.batches"); see docs/ALGORITHMS.md §11 for the schema.
+	Counter(name string) *Counter
+	// Gauge returns the named gauge, created on first use.
+	Gauge(name string) *Gauge
+	// Timer returns the named timer, created on first use.
+	Timer(name string) *Timer
+	// Event records one structured event under the given phase.
+	Event(phase, name string, fields ...Field)
+}
+
+// C resolves a named counter, tolerating a nil observer (the returned
+// nil Counter absorbs updates). Engines resolve instruments once per
+// run through these helpers, never per update.
+func C(o Observer, name string) *Counter {
+	if o == nil {
+		return nil
+	}
+	return o.Counter(name)
+}
+
+// G resolves a named gauge, tolerating a nil observer.
+func G(o Observer, name string) *Gauge {
+	if o == nil {
+		return nil
+	}
+	return o.Gauge(name)
+}
+
+// T resolves a named timer, tolerating a nil observer.
+func T(o Observer, name string) *Timer {
+	if o == nil {
+		return nil
+	}
+	return o.Timer(name)
+}
+
+// Emit records an event, tolerating a nil observer. Callers that build
+// expensive fields should test o != nil themselves first.
+func Emit(o Observer, phase, name string, fields ...Field) {
+	if o == nil {
+		return
+	}
+	o.Event(phase, name, fields...)
+}

@@ -1,0 +1,207 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// The disabled path: nil instruments and a nil observer must absorb
+// every call without allocating or panicking.
+func TestNilInstruments(t *testing.T) {
+	var c *Counter
+	c.Add(5)
+	c.Inc()
+	if c.Value() != 0 {
+		t.Errorf("nil counter value = %d", c.Value())
+	}
+	var g *Gauge
+	g.Set(3)
+	g.Max(9)
+	if g.Value() != 0 {
+		t.Errorf("nil gauge value = %d", g.Value())
+	}
+	var tm *Timer
+	tm.Start()()
+	tm.Observe(time.Second)
+	if n, d := tm.Stat(); n != 0 || d != 0 {
+		t.Errorf("nil timer stat = %d, %v", n, d)
+	}
+	if C(nil, "x") != nil || G(nil, "x") != nil || T(nil, "x") != nil {
+		t.Error("nil observer must resolve nil instruments")
+	}
+	Emit(nil, "phase", "name", F("k", 1)) // must not panic
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a.x").Add(2)
+	r.Counter("a.x").Inc()
+	r.Gauge("a.g").Set(7)
+	r.Gauge("a.g").Max(5) // below current value: no-op
+	r.Gauge("a.g").Max(9)
+	r.Timer("b.t").Observe(3 * time.Millisecond)
+	s := r.Snapshot()
+	if s.Counters["a.x"] != 3 {
+		t.Errorf("counter = %d, want 3", s.Counters["a.x"])
+	}
+	if s.Gauges["a.g"] != 9 {
+		t.Errorf("gauge = %d, want 9", s.Gauges["a.g"])
+	}
+	if ts := s.Timers["b.t"]; ts.Count != 1 || ts.Nanos != int64(3*time.Millisecond) {
+		t.Errorf("timer = %+v", ts)
+	}
+	if got, want := s.Names(), []string{"a.g", "a.x", "b.t"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("names = %v, want %v", got, want)
+	}
+	if s.TotalTime() != 3*time.Millisecond {
+		t.Errorf("total time = %v", s.TotalTime())
+	}
+}
+
+func TestRecorderStream(t *testing.T) {
+	var buf bytes.Buffer
+	t0 := time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC)
+	r := NewRecorder(&buf, RecorderOptions{
+		Program:       "test",
+		SnapshotEvery: 2,
+		Clock:         func() time.Time { return t0 },
+	})
+	r.Counter("x.c").Inc()
+	r.Event("x", "one", F("i", 1), F("ok", true))
+	r.Event("x", "two") // second event: periodic snapshot due
+	r.Event("x", "three")
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Validate(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("stream invalid: %v\n%s", err, buf.String())
+	}
+	if st.Runs != 1 || st.Events != 3 || st.Snapshots != 2 {
+		t.Errorf("stats = %+v, want 1 run, 3 events, 2 snapshots", st)
+	}
+	// The event's fields must round-trip through JSON.
+	var ev Line
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if err := json.Unmarshal([]byte(lines[1]), &ev); err != nil {
+		t.Fatal(err)
+	}
+	if ev.Phase != "x" || ev.Name != "one" || ev.Fields["i"] != float64(1) || ev.Fields["ok"] != true {
+		t.Errorf("event line = %+v", ev)
+	}
+}
+
+// A resumed leg appends a second run header with resumed:true and a
+// fresh sequence; a non-resumed header mid-file is a corruption.
+func TestRecorderResumeAppend(t *testing.T) {
+	var buf bytes.Buffer
+	r1 := NewRecorder(&buf, RecorderOptions{Program: "test"})
+	r1.Event("p", "a")
+	if err := r1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r2 := NewRecorder(&buf, RecorderOptions{Program: "test", Resumed: true})
+	r2.Event("p", "b")
+	if err := r2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Validate(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("resumed stream invalid: %v", err)
+	}
+	if st.Runs != 2 || st.Events != 2 || st.Snapshots != 2 {
+		t.Errorf("stats = %+v, want 2 runs, 2 events, 2 snapshots", st)
+	}
+
+	var bad bytes.Buffer
+	b1 := NewRecorder(&bad, RecorderOptions{})
+	b1.Close()
+	b2 := NewRecorder(&bad, RecorderOptions{}) // fresh header appended: invalid
+	b2.Close()
+	if _, err := Validate(bytes.NewReader(bad.Bytes())); err == nil {
+		t.Error("non-resumed mid-file header must be rejected")
+	}
+}
+
+func TestValidateRejectsCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	r := NewRecorder(&buf, RecorderOptions{SnapshotEvery: -1})
+	r.Event("p", "a")
+	r.Event("p", "b")
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 { // run, 2 events, final snapshot
+		t.Fatalf("got %d lines: %q", len(lines), lines)
+	}
+	cases := map[string]string{
+		"empty stream":        "",
+		"event before header": strings.Join(lines[1:], "\n"),
+		"seq gap":             strings.Join([]string{lines[0], lines[2], lines[3]}, "\n"),
+		"no final snapshot":   strings.Join(lines[:3], "\n"),
+		"not JSON":            "run header goes here",
+	}
+	for name, stream := range cases {
+		if _, err := Validate(strings.NewReader(stream)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	if _, err := Validate(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Errorf("intact stream rejected: %v", err)
+	}
+}
+
+// A nil-writer Recorder keeps instruments and discards lines — the
+// shape behind -debug-addr without -metrics.
+func TestNilWriterRecorder(t *testing.T) {
+	r := NewRecorder(nil, RecorderOptions{})
+	r.Counter("c").Inc()
+	r.Event("p", "n")
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Snapshot().Counters["c"] != 1 {
+		t.Error("instruments must work without a writer")
+	}
+}
+
+func TestDebugServer(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("sim.runs").Add(4)
+	srv, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s Snapshot
+	err = json.NewDecoder(resp.Body).Decode(&s)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Counters["sim.runs"] != 4 {
+		t.Errorf("/metrics counters = %v", s.Counters)
+	}
+
+	resp, err = http.Get("http://" + srv.Addr() + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(text), "sim.runs 4") {
+		t.Errorf("text view = %q", text)
+	}
+}

@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Line is one JSONL flight-recorder record. Exactly one of the
+// type-specific field groups is populated depending on Type:
+//
+//   - "run": a run header — Program and Resumed; written once per
+//     process so resumed runs append to the same file and the reader
+//     can tell the legs apart (Seq restarts at 0 at every header).
+//   - "event": a structured engine event — Phase, Name and Fields.
+//     Field values are deterministic for a fixed seed; the wall-clock
+//     stamp T is the only nondeterministic part of an event line.
+//   - "snapshot": a periodic or final copy of every counter, gauge and
+//     timer.
+//
+// Seq increases by one per line within a run leg; T is RFC3339Nano.
+type Line struct {
+	Type string `json:"type"`
+	Seq  int64  `json:"seq"`
+	T    string `json:"t"`
+
+	Program string `json:"program,omitempty"`
+	Resumed *bool  `json:"resumed,omitempty"`
+
+	Phase  string         `json:"phase,omitempty"`
+	Name   string         `json:"name,omitempty"`
+	Fields map[string]any `json:"fields,omitempty"`
+
+	Counters map[string]int64     `json:"counters,omitempty"`
+	Gauges   map[string]int64     `json:"gauges,omitempty"`
+	Timers   map[string]TimerStat `json:"timers,omitempty"`
+}
+
+// RecorderOptions tunes a Recorder. The zero value selects defaults.
+type RecorderOptions struct {
+	// SnapshotEvery writes a counter snapshot after every n-th event
+	// (default 256; negative disables periodic snapshots). The final
+	// snapshot on Close is always written.
+	SnapshotEvery int
+	// Program names the producing tool in the run header.
+	Program string
+	// Resumed marks the run header of a leg that continues an earlier
+	// checkpointed run; the CLI layer pairs it with opening the file in
+	// append mode so one file carries the whole run's history.
+	Resumed bool
+	// Clock overrides the timestamp source (tests).
+	Clock func() time.Time
+}
+
+// Recorder is the flight recorder: an Observer whose instruments live
+// in an embedded Registry and whose events stream to a JSONL writer.
+// A nil-writer Recorder keeps instruments and discards event lines —
+// the shape behind -debug-addr without -metrics. Recorder is safe for
+// concurrent use; events must still come from one goroutine per engine
+// for the stream to be deterministic (see the package comment).
+type Recorder struct {
+	Registry
+
+	mu    sync.Mutex
+	w     *bufio.Writer
+	flush func() error
+	seq   int64
+	every int
+	nEv   int
+	clock func() time.Time
+	err   error
+}
+
+// NewRecorder builds a Recorder streaming to w (nil keeps instruments
+// only) and writes the run header line.
+func NewRecorder(w io.Writer, opts RecorderOptions) *Recorder {
+	r := &Recorder{every: opts.SnapshotEvery, clock: opts.Clock}
+	if r.every == 0 {
+		r.every = 256
+	}
+	if r.clock == nil {
+		r.clock = time.Now
+	}
+	if w != nil {
+		r.w = bufio.NewWriter(w)
+	}
+	resumed := opts.Resumed
+	r.writeLine(&Line{Type: "run", Program: opts.Program, Resumed: &resumed})
+	return r
+}
+
+// writeLine stamps and writes one line under the mutex.
+func (r *Recorder) writeLine(ln *Line) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.w == nil || r.err != nil {
+		return
+	}
+	ln.Seq = r.seq
+	r.seq++
+	ln.T = r.clock().UTC().Format(time.RFC3339Nano)
+	b, err := json.Marshal(ln)
+	if err != nil {
+		r.err = fmt.Errorf("obs: marshal %s line: %w", ln.Type, err)
+		return
+	}
+	b = append(b, '\n')
+	if _, err := r.w.Write(b); err != nil {
+		r.err = fmt.Errorf("obs: write: %w", err)
+	}
+}
+
+// Event streams one event line.
+func (r *Recorder) Event(phase, name string, fields ...Field) {
+	ln := &Line{Type: "event", Phase: phase, Name: name}
+	if len(fields) > 0 {
+		ln.Fields = make(map[string]any, len(fields))
+		for _, f := range fields {
+			ln.Fields[f.Key] = f.Val
+		}
+	}
+	r.writeLine(ln)
+	r.mu.Lock()
+	r.nEv++
+	due := r.every > 0 && r.nEv%r.every == 0
+	r.mu.Unlock()
+	if due {
+		r.WriteSnapshot()
+	}
+}
+
+// WriteSnapshot writes a snapshot line of the current instruments.
+func (r *Recorder) WriteSnapshot() {
+	s := r.Snapshot()
+	r.writeLine(&Line{Type: "snapshot", Counters: s.Counters, Gauges: s.Gauges, Timers: s.Timers})
+}
+
+// Err returns the first write or marshal error, if any.
+func (r *Recorder) Err() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.err
+}
+
+// Close writes the final snapshot and flushes the stream. It does not
+// close the underlying writer (the caller owns the file).
+func (r *Recorder) Close() error {
+	r.WriteSnapshot()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.w != nil {
+		if err := r.w.Flush(); err != nil && r.err == nil {
+			r.err = fmt.Errorf("obs: flush: %w", err)
+		}
+	}
+	return r.err
+}
+
+var _ Observer = (*Recorder)(nil)

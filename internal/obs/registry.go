@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Registry implements the instrument half of Observer: named counters,
+// gauges and timers created on first use. It discards events; Recorder
+// embeds it and adds the JSONL event stream. The zero value is ready.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	timers   map[string]*Timer
+}
+
+// NewRegistry returns an empty Registry. It satisfies Observer on its
+// own for callers that want live counters (e.g. the -debug-addr
+// endpoint) without a flight-recorder file.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.counters == nil {
+		r.counters = make(map[string]*Counter)
+	}
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.gauges == nil {
+		r.gauges = make(map[string]*Gauge)
+	}
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Timer returns the named timer, creating it on first use.
+func (r *Registry) Timer(name string) *Timer {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.timers == nil {
+		r.timers = make(map[string]*Timer)
+	}
+	t, ok := r.timers[name]
+	if !ok {
+		t = &Timer{}
+		r.timers[name] = t
+	}
+	return t
+}
+
+// Event discards the event; Recorder overrides this.
+func (r *Registry) Event(phase, name string, fields ...Field) {}
+
+// TimerStat is one timer's aggregate in a Snapshot.
+type TimerStat struct {
+	Count int64 `json:"n"`
+	Nanos int64 `json:"ns"`
+}
+
+// Snapshot is a point-in-time copy of every instrument, with
+// deterministic (sorted) iteration order via Names helpers.
+type Snapshot struct {
+	Counters map[string]int64     `json:"counters"`
+	Gauges   map[string]int64     `json:"gauges,omitempty"`
+	Timers   map[string]TimerStat `json:"timers,omitempty"`
+}
+
+// Snapshot copies the current instrument values.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{Counters: make(map[string]int64, len(r.counters))}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	if len(r.gauges) > 0 {
+		s.Gauges = make(map[string]int64, len(r.gauges))
+		for name, g := range r.gauges {
+			s.Gauges[name] = g.Value()
+		}
+	}
+	if len(r.timers) > 0 {
+		s.Timers = make(map[string]TimerStat, len(r.timers))
+		for name, t := range r.timers {
+			n, total := t.Stat()
+			s.Timers[name] = TimerStat{Count: n, Nanos: int64(total)}
+		}
+	}
+	return s
+}
+
+// Names returns the union of all instrument names, sorted.
+func (s Snapshot) Names() []string {
+	seen := make(map[string]bool, len(s.Counters)+len(s.Gauges)+len(s.Timers))
+	var names []string
+	add := func(n string) {
+		if !seen[n] {
+			seen[n] = true
+			names = append(names, n)
+		}
+	}
+	for n := range s.Counters {
+		add(n)
+	}
+	for n := range s.Gauges {
+		add(n)
+	}
+	for n := range s.Timers {
+		add(n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// TotalTime sums all timer durations (a rough per-phase wall-clock
+// breakdown; spans may overlap).
+func (s Snapshot) TotalTime() time.Duration {
+	var ns int64
+	for _, t := range s.Timers {
+		ns += t.Nanos
+	}
+	return time.Duration(ns)
+}
+
+// Snapshotter yields point-in-time instrument snapshots; both Registry
+// and Recorder satisfy it, and the debug HTTP endpoint serves it.
+type Snapshotter interface {
+	Snapshot() Snapshot
+}
+
+var _ Observer = (*Registry)(nil)
+var _ Snapshotter = (*Registry)(nil)

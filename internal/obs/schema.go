@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// ValidateStats summarizes a validated flight-recorder stream.
+type ValidateStats struct {
+	Runs      int // run header lines (resume legs)
+	Events    int
+	Snapshots int
+	// FinalSnapshot reports whether the stream's last line is a
+	// snapshot — the recorder's Close guarantee.
+	FinalSnapshot bool
+}
+
+// Validate checks a JSONL flight-recorder stream against the schema
+// documented in docs/ALGORITHMS.md §11:
+//
+//   - every line is a JSON object with a known "type" (run, event,
+//     snapshot), a sequence number and an RFC3339Nano timestamp;
+//   - the stream starts with a run header and Seq counts up from 0
+//     within each run leg (a new header restarts it, which is how a
+//     resumed run appends to the same file);
+//   - event lines carry a non-empty phase and name;
+//   - snapshot lines carry no phase or name (their instrument maps may
+//     all be empty — an instrument-free run still closes validly);
+//   - the final line is a snapshot.
+//
+// The first violation is returned with its 1-based line number.
+func Validate(r io.Reader) (ValidateStats, error) {
+	var st ValidateStats
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	lineNo := 0
+	nextSeq := int64(-1) // -1: expecting the first run header
+	lastType := ""
+	for sc.Scan() {
+		lineNo++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			return st, fmt.Errorf("line %d: empty line", lineNo)
+		}
+		var ln Line
+		if err := json.Unmarshal(raw, &ln); err != nil {
+			return st, fmt.Errorf("line %d: not a JSON record: %v", lineNo, err)
+		}
+		if _, err := time.Parse(time.RFC3339Nano, ln.T); err != nil {
+			return st, fmt.Errorf("line %d: bad timestamp %q: %v", lineNo, ln.T, err)
+		}
+		switch ln.Type {
+		case "run":
+			if ln.Seq != 0 {
+				return st, fmt.Errorf("line %d: run header must restart seq at 0, got %d", lineNo, ln.Seq)
+			}
+			if ln.Resumed == nil {
+				return st, fmt.Errorf("line %d: run header missing resumed flag", lineNo)
+			}
+			if st.Runs > 0 && !*ln.Resumed {
+				return st, fmt.Errorf("line %d: non-resumed run header appended mid-file", lineNo)
+			}
+			st.Runs++
+			nextSeq = 1
+		case "event":
+			if nextSeq < 0 {
+				return st, fmt.Errorf("line %d: event before run header", lineNo)
+			}
+			if ln.Seq != nextSeq {
+				return st, fmt.Errorf("line %d: seq %d, want %d", lineNo, ln.Seq, nextSeq)
+			}
+			nextSeq++
+			if ln.Phase == "" || ln.Name == "" {
+				return st, fmt.Errorf("line %d: event needs phase and name", lineNo)
+			}
+			st.Events++
+		case "snapshot":
+			if nextSeq < 0 {
+				return st, fmt.Errorf("line %d: snapshot before run header", lineNo)
+			}
+			if ln.Seq != nextSeq {
+				return st, fmt.Errorf("line %d: seq %d, want %d", lineNo, ln.Seq, nextSeq)
+			}
+			nextSeq++
+			if ln.Phase != "" || ln.Name != "" {
+				return st, fmt.Errorf("line %d: snapshot carries event fields", lineNo)
+			}
+			st.Snapshots++
+		default:
+			return st, fmt.Errorf("line %d: unknown record type %q", lineNo, ln.Type)
+		}
+		lastType = ln.Type
+	}
+	if err := sc.Err(); err != nil {
+		return st, err
+	}
+	if lineNo == 0 {
+		return st, fmt.Errorf("empty stream")
+	}
+	st.FinalSnapshot = lastType == "snapshot"
+	if !st.FinalSnapshot {
+		return st, fmt.Errorf("stream does not end with a snapshot (last line is a %s)", lastType)
+	}
+	return st, nil
+}

@@ -7,9 +7,11 @@ package report
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/logic"
+	"repro/internal/obs"
 	"repro/internal/runctl"
 	"repro/internal/scan"
 	"repro/internal/translate"
@@ -26,6 +28,51 @@ func RunBanner(status runctl.Status, checkpoint string) string {
 		return fmt.Sprintf("run status: %s — partial results (no checkpoint file; rerun with -checkpoint to make the run resumable)", status)
 	}
 	return fmt.Sprintf("run status: %s", status)
+}
+
+// ObsSummary renders the final instrument snapshot as a per-phase
+// summary table: instruments grouped by their dot-separated phase
+// prefix ("generate.attempts" under generate), counters and gauges as
+// plain numbers, timers as total time with the observation count. An
+// empty snapshot renders as the empty string so commands can print the
+// result unconditionally.
+func ObsSummary(s obs.Snapshot) string {
+	names := s.Names()
+	if len(names) == 0 {
+		return ""
+	}
+	width := 0
+	for _, n := range names {
+		if len(n) > width {
+			width = len(n)
+		}
+	}
+	var sb strings.Builder
+	sb.WriteString("Run metrics\n")
+	prev := ""
+	for _, n := range names {
+		phase, _, _ := strings.Cut(n, ".")
+		if prev != "" && phase != prev {
+			sb.WriteByte('\n')
+		}
+		prev = phase
+		switch {
+		case s.Counters != nil && hasKey(s.Counters, n):
+			fmt.Fprintf(&sb, "  %-*s  %d\n", width, n, s.Counters[n])
+		case s.Gauges != nil && hasKey(s.Gauges, n):
+			fmt.Fprintf(&sb, "  %-*s  %d\n", width, n, s.Gauges[n])
+		default:
+			t := s.Timers[n]
+			fmt.Fprintf(&sb, "  %-*s  %v (%d)\n", width, n,
+				time.Duration(t.Nanos).Round(time.Millisecond), t.Count)
+		}
+	}
+	return sb.String()
+}
+
+func hasKey(m map[string]int64, k string) bool {
+	_, ok := m[k]
+	return ok
 }
 
 // SequenceTable renders a test sequence for a scan design in the style

@@ -21,6 +21,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/logic"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/runctl"
 	"repro/internal/scan"
 	"repro/internal/sim"
@@ -62,6 +63,12 @@ type Options struct {
 	// stopped and produces a sequence bit-identical to an uninterrupted
 	// run.
 	Control *runctl.Control
+	// Obs, when non-nil, receives the run's instrumentation under the
+	// "generate" phase: per-attempt events, attempt/PODEM/flush
+	// counters and the run timer (see docs/ALGORITHMS.md §11). Purely
+	// observational — the generated sequence is identical with or
+	// without it.
+	Obs obs.Observer
 }
 
 func (o Options) withDefaults(nsv int) Options {
@@ -133,8 +140,15 @@ func (r Result) NumFunct() int {
 // own faults).
 func Generate(sc scan.Design, faults []fault.Fault, opts Options) Result {
 	opts = opts.withDefaults(sc.NumStateVars())
+	o := opts.Obs
+	defer obs.T(o, "generate.time").Start()()
+	cAttempts := obs.C(o, "generate.attempts")
+	cSuccess := obs.C(o, "generate.attempt_success")
+	cFlushDet := obs.C(o, "generate.flush_detections")
+	gSeqLen := obs.G(o, "generate.seq_len")
 	c := sc.ScanCircuit()
 	s := sim.NewSimulator(c, opts.Workers)
+	s.Observe(o)
 	mgr := NewManagerSim(s, faults)
 	defer mgr.Close()
 	pod := combatpg.NewGenerator(c, combatpg.Options{
@@ -178,8 +192,13 @@ func Generate(sc scan.Design, faults []fault.Fault, opts Options) Result {
 			if st.Done {
 				startPass = opts.Passes // nothing left to do
 			}
+			obs.Emit(o, "generate", "resume",
+				obs.F("pass", startPass), obs.F("fault", startFault), obs.F("seq_len", len(seq)))
 		}
 	}
+	obs.Emit(o, "generate", "start",
+		obs.F("faults", len(faults)), obs.F("passes", opts.Passes),
+		obs.F("max_frames", opts.MaxFrames), obs.F("candidates", opts.Candidates))
 
 	// The random phase (when enabled) is part of the checkpointed
 	// sequence, so a resumed run must not replay it.
@@ -193,6 +212,8 @@ func Generate(sc scan.Design, faults []fault.Fault, opts Options) Result {
 			seq = append(seq, v)
 			mgr.Append(v)
 		}
+		obs.Emit(o, "generate", "random_phase",
+			obs.F("vectors", opts.RandomPhase), obs.F("detected", mgr.NumDetected()))
 	}
 
 	status := runctl.Final(resumed)
@@ -214,14 +235,24 @@ loop:
 				ckErr = saveGenCheckpoint(ctl, opts, len(faults), c.NumInputs(), pass, fi, seq, funct, rng, false, true)
 				break loop
 			}
+			cAttempts.Inc()
 			sub, flushStart, ok := a.attempt(faults[fi], mgr.GoodState(), mgr.FaultyState(fi), pod, podFull, rng)
 			if ok {
+				cSuccess.Inc()
 				start := len(seq)
 				seq = append(seq, sub...)
 				mgr.AppendSequence(sub)
 				if mgr.Detected(fi) && flushStart >= 0 && mgr.DetectedAt[fi] >= start+flushStart {
 					funct[fi] = true
+					cFlushDet.Inc()
 				}
+			}
+			gSeqLen.Set(int64(len(seq)))
+			if o != nil {
+				o.Event("generate", "attempt",
+					obs.F("pass", pass), obs.F("fault", fi), obs.F("ok", ok),
+					obs.F("frames", a.frames), obs.F("flush", flushStart >= 0),
+					obs.F("sub_len", len(sub)), obs.F("seq_len", len(seq)))
 			}
 			ckErr = saveGenCheckpoint(ctl, opts, len(faults), c.NumInputs(), pass, fi+1, seq, funct, rng, false, false)
 		}
@@ -233,7 +264,11 @@ loop:
 		ctl.Fail()
 		status = runctl.Failed
 	}
-	return Result{Sequence: seq, DetectedAt: mgr.DetectedAt, Funct: funct, Status: status, Err: ckErr}
+	res := Result{Sequence: seq, DetectedAt: mgr.DetectedAt, Funct: funct, Status: status, Err: ckErr}
+	obs.Emit(o, "generate", "done",
+		obs.F("vectors", len(seq)), obs.F("detected", res.NumDetected()),
+		obs.F("funct", res.NumFunct()), obs.F("status", status.String()))
+	return res
 }
 
 // attempter holds the per-attempt machinery (two simulation machines,
@@ -248,6 +283,15 @@ type attempter struct {
 	// latched effects that are cheap to flush out.
 	flushLen   []int
 	depthBonus []int64
+
+	// Observability (nil-safe): frames counts the candidate frames the
+	// current attempt simulated — the per-fault effort the attempt
+	// event reports.
+	frames          int
+	cFrames         *obs.Counter
+	cPodemCalls     *obs.Counter
+	cPodemBacktrack *obs.Counter
+	cFlushVectors   *obs.Counter
 }
 
 func newAttempter(sc scan.Design, opts Options, s *sim.Simulator) *attempter {
@@ -257,6 +301,11 @@ func newAttempter(sc scan.Design, opts Options, s *sim.Simulator) *attempter {
 		sim:  s,
 		mg:   s.Acquire(),
 		mf:   s.Acquire(),
+
+		cFrames:         obs.C(opts.Obs, "generate.frames"),
+		cPodemCalls:     obs.C(opts.Obs, "generate.podem_calls"),
+		cPodemBacktrack: obs.C(opts.Obs, "generate.podem_backtracks"),
+		cFlushVectors:   obs.C(opts.Obs, "generate.flush_vectors"),
 	}
 	c := sc.ScanCircuit()
 	nsv := sc.NumStateVars()
@@ -300,7 +349,10 @@ func (a *attempter) attemptWith(f fault.Fault, inject func(*sim.Machine) error, 
 	var sub logic.Sequence
 	bestFFPos, bestPrefix := -1, -1
 
+	a.frames = 0
 	for frame := 0; frame < a.opts.MaxFrames; frame++ {
+		a.frames++
+		a.cFrames.Inc()
 		cands := a.candidates(f, pod, rng)
 		gSnap, fSnap := a.mg.SaveState(), a.mf.SaveState()
 		a.mg.StepMulti(cands)
@@ -361,7 +413,9 @@ func (a *attempter) withFlush(goodState, faultyState []logic.Value, prefix logic
 	}
 	seq := append(logic.Sequence{}, prefix...)
 	flushStart := len(seq)
-	for _, v := range a.sc.FlushVectors(pos) {
+	fv := a.sc.FlushVectors(pos)
+	a.cFlushVectors.Add(int64(len(fv)))
+	for _, v := range fv {
 		w := v.Clone()
 		fillRandom(w, rng)
 		seq = append(seq, w)
@@ -384,6 +438,8 @@ func (a *attempter) withFlush(goodState, faultyState []logic.Value, prefix logic
 // flushes the latched effect to scan_out.
 func (a *attempter) justifyAttempt(f fault.Fault, goodState, faultyState []logic.Value, podFull *combatpg.Generator, rng *logic.RandFiller) (logic.Sequence, int, bool) {
 	r := podFull.Generate(f)
+	a.cPodemCalls.Inc()
+	a.cPodemBacktrack.Add(int64(r.Backtracks))
 	if r.Status != combatpg.Success {
 		return nil, -1, false
 	}
@@ -438,7 +494,10 @@ func (a *attempter) candidates(f fault.Fault, pod *combatpg.Generator, rng *logi
 	var cands []logic.Vector
 	if pod != nil {
 		pod.SetStates(a.mg.StateSlot(0), a.mf.StateSlot(0))
-		if r := pod.Generate(f); r.Status == combatpg.Success {
+		r := pod.Generate(f)
+		a.cPodemCalls.Inc()
+		a.cPodemBacktrack.Add(int64(r.Backtracks))
+		if r.Status == combatpg.Success {
 			v := r.Vector
 			fillRandom(v, rng)
 			cands = append(cands, v)

@@ -9,6 +9,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/logic"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/runctl"
 )
 
@@ -36,6 +37,15 @@ type Simulator struct {
 	// replaced trace's machine is released only by its last user.
 	trMu   sync.Mutex
 	cached *goodTrace
+
+	// Observability instruments, resolved once by Observe. All are
+	// nil-safe, so the default (unobserved) simulator pays one nil
+	// check per update — never per gate or per vector. Pool and trace
+	// counters are scheduling-dependent under concurrency; the
+	// batch-step and fast-forward counters are deterministic.
+	cRuns, cBatches, cSteps, cFastFwd *obs.Counter
+	cPoolHit, cPoolMiss               *obs.Counter
+	cTraceHit, cTraceMiss             *obs.Counter
 }
 
 // NewSimulator returns a Simulator for circuit c running fault batches
@@ -56,6 +66,21 @@ func NewSimulator(c *netlist.Circuit, workers int) *Simulator {
 // Circuit returns the circuit this Simulator simulates.
 func (s *Simulator) Circuit() *netlist.Circuit { return s.c }
 
+// Observe attaches an observer under the "sim" phase: machine-pool
+// hits/misses, trace-cache hits/misses, runs, batches, batch steps and
+// fast-forwarded cycles. Pass nil to detach. Attach before issuing
+// Runs; the method is not synchronized with in-flight calls.
+func (s *Simulator) Observe(o obs.Observer) {
+	s.cRuns = obs.C(o, "sim.runs")
+	s.cBatches = obs.C(o, "sim.batches")
+	s.cSteps = obs.C(o, "sim.batch_steps")
+	s.cFastFwd = obs.C(o, "sim.fastforwarded")
+	s.cPoolHit = obs.C(o, "sim.pool_hits")
+	s.cPoolMiss = obs.C(o, "sim.pool_misses")
+	s.cTraceHit = obs.C(o, "sim.trace_hits")
+	s.cTraceMiss = obs.C(o, "sim.trace_misses")
+}
+
 // Workers returns the configured worker count.
 func (s *Simulator) Workers() int { return s.workers }
 
@@ -64,11 +89,13 @@ func (s *Simulator) Workers() int { return s.workers }
 // Return it with Release when done.
 func (s *Simulator) Acquire() *Machine {
 	if v := s.pool.Get(); v != nil {
+		s.cPoolHit.Inc()
 		m := v.(*Machine)
 		m.ClearFaults()
 		m.Reset()
 		return m
 	}
+	s.cPoolMiss.Inc()
 	return New(s.c)
 }
 
@@ -169,9 +196,11 @@ func (s *Simulator) acquireTrace(seq logic.Sequence, opts Options) *goodTrace {
 	s.trMu.Lock()
 	defer s.trMu.Unlock()
 	if c := s.cached; c != nil && c.matches(seq, opts) {
+		s.cTraceHit.Inc()
 		c.refs++
 		return c
 	}
+	s.cTraceMiss.Inc()
 	tr := s.newTrace(seq, opts)
 	tr.refs = 1
 	tr.cached = true
@@ -266,6 +295,15 @@ func (tr *goodTrace) image(t int) []uint64 {
 // building new sequences is fine — identity then changes).
 func (s *Simulator) Run(seq logic.Sequence, faults []fault.Fault, opts Options) Result {
 	return s.runInto(seq, faults, opts, make([]int, len(faults)))
+}
+
+// RunWithControl is Run under an explicit run control: the budget and
+// cancellation are polled at fault-batch boundaries and, when the
+// control carries a checkpoint store, per-batch detection state is
+// persisted for -resume. It is shorthand for setting opts.Control.
+func (s *Simulator) RunWithControl(seq logic.Sequence, faults []fault.Fault, opts Options, ctl *runctl.Control) Result {
+	opts.Control = ctl
+	return s.Run(seq, faults, opts)
 }
 
 // runInto is Run writing detections into the caller-provided det slice
@@ -400,6 +438,9 @@ func (s *Simulator) runInto(seq logic.Sequence, faults []fault.Fault, opts Optio
 // finishRun settles the result's final Status, persists the checkpoint,
 // and re-panics recovered worker failures for control-less callers.
 func (s *Simulator) finishRun(res Result, ctl *runctl.Control, opts Options, seq logic.Sequence, done []bool, det []int, resumed bool) Result {
+	s.cRuns.Inc()
+	s.cSteps.Add(res.BatchSteps)
+	s.cFastFwd.Add(res.FastForwarded)
 	if res.Err != nil && ctl == nil {
 		panic(res.Err)
 	}
@@ -418,6 +459,7 @@ func (s *Simulator) finishRun(res Result, ctl *runctl.Control, opts Options, seq
 // converting a panic anywhere under it into a PanicError that names the
 // batch's global fault index range and carries the stack.
 func (s *Simulator) runBatchSafe(m *Machine, tr *goodTrace, seq logic.Sequence, faults []fault.Fault, bi int, opts Options, out []int) (steps, skipped int64, err error) {
+	s.cBatches.Inc()
 	defer func() {
 		if r := recover(); r != nil {
 			end := (bi + 1) * Slots

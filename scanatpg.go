@@ -30,6 +30,7 @@ package scanatpg
 
 import (
 	"io"
+	"sync"
 
 	"repro/internal/baseline"
 	"repro/internal/bench"
@@ -41,6 +42,8 @@ import (
 	"repro/internal/fault"
 	"repro/internal/logic"
 	"repro/internal/netlist"
+	"repro/internal/obs"
+	"repro/internal/runctl"
 	"repro/internal/scan"
 	"repro/internal/seqatpg"
 	"repro/internal/sim"
@@ -179,15 +182,16 @@ func ConventionalCycles(tests []ScanTest, nsv int) int {
 }
 
 // Restore applies vector-restoration compaction [23] to a test sequence
-// for circuit c (typically a C_scan, single- or multi-chain).
-func Restore(c *Circuit, seq Sequence, faults []Fault) (Sequence, CompactionStats) {
-	return compact.Restore(c, seq, faults)
+// for a scan design. Like Compact and Omit it accepts both a
+// single-chain *ScanCircuit and a multi-chain *ScanChains.
+func Restore(sc ScanDesign, seq Sequence, faults []Fault) (Sequence, CompactionStats) {
+	return compact.Restore(sc.ScanCircuit(), seq, faults)
 }
 
-// Omit applies vector-omission compaction [22] to a test sequence for
-// circuit c.
-func Omit(c *Circuit, seq Sequence, faults []Fault) (Sequence, CompactionStats) {
-	return compact.Omit(c, seq, faults)
+// Omit applies vector-omission compaction [22] to a test sequence for a
+// scan design.
+func Omit(sc ScanDesign, seq Sequence, faults []Fault) (Sequence, CompactionStats) {
+	return compact.Omit(sc.ScanCircuit(), seq, faults)
 }
 
 // Compact applies the paper's Section 4 pipeline — restoration followed
@@ -197,10 +201,48 @@ func Compact(sc ScanDesign, seq Sequence, faults []Fault) (Sequence, CompactionS
 	return omitted, ost
 }
 
+// RestoreCircuit is Restore for a bare *Circuit.
+//
+// Deprecated: the compaction entry points uniformly take a ScanDesign;
+// use Restore. RestoreCircuit remains for callers compacting sequences
+// of circuits without scan structure.
+func RestoreCircuit(c *Circuit, seq Sequence, faults []Fault) (Sequence, CompactionStats) {
+	return compact.Restore(c, seq, faults)
+}
+
+// OmitCircuit is Omit for a bare *Circuit.
+//
+// Deprecated: the compaction entry points uniformly take a ScanDesign;
+// use Omit. OmitCircuit remains for callers compacting sequences of
+// circuits without scan structure.
+func OmitCircuit(c *Circuit, seq Sequence, faults []Fault) (Sequence, CompactionStats) {
+	return compact.Omit(c, seq, faults)
+}
+
+// simCache memoizes the last Simulator that Simulate built, so repeated
+// facade calls on the same circuit share one machine pool (and the
+// event-driven kernel's trace cache) instead of allocating machines per
+// call.
+var simCache struct {
+	sync.Mutex
+	c *Circuit
+	s *Simulator
+}
+
+func cachedSimulator(c *Circuit) *Simulator {
+	simCache.Lock()
+	defer simCache.Unlock()
+	if simCache.c != c {
+		simCache.c, simCache.s = c, sim.NewSimulator(c, 0)
+	}
+	return simCache.s
+}
+
 // Simulate fault-simulates a sequence and returns, per fault, the first
-// detecting vector index or -1.
+// detecting vector index or -1. Calls run through a pooled Simulator
+// cached per circuit; results are bit-identical to Simulator.Run.
 func Simulate(c *Circuit, seq Sequence, faults []Fault) []int {
-	return sim.Run(c, seq, faults, sim.Options{}).DetectedAt
+	return cachedSimulator(c).Run(seq, faults, sim.Options{}).DetectedAt
 }
 
 // Simulator owns a reusable pool of bit-parallel fault-simulation
@@ -217,6 +259,90 @@ type SimOptions = sim.Options
 // (<= 0 selects GOMAXPROCS). A Simulator is safe for concurrent use and
 // amortizes machine allocation across many simulation calls.
 func NewSimulator(c *Circuit, workers int) *Simulator { return sim.NewSimulator(c, workers) }
+
+// Run control: budgets, cancellation and crash-safe checkpoint/resume,
+// re-exported from the internal runctl package so library users get the
+// same machinery the commands expose as -timeout/-checkpoint/-resume.
+type (
+	// Budget caps a run by wall clock, context cancellation, or
+	// attempt/trial counts; the zero value imposes no limits.
+	Budget = runctl.Budget
+	// Control threads one run's budget, cancellation and optional
+	// checkpoint store through the engines. A nil *Control is valid
+	// everywhere and means "run to completion".
+	Control = runctl.Control
+	// Status classifies how a budgeted run ended.
+	Status = runctl.Status
+	// Store persists checkpoint sections between run legs.
+	Store = runctl.Store
+	// FileStore is a Store keeping all sections in one JSON file,
+	// written atomically.
+	FileStore = runctl.FileStore
+)
+
+// Run statuses. Complete and Resumed mark fully finished runs; the
+// others mark a clean stop with valid partial results that a checkpoint
+// can continue.
+const (
+	Complete         = runctl.Complete
+	Resumed          = runctl.Resumed
+	Canceled         = runctl.Canceled
+	DeadlineExceeded = runctl.DeadlineExceeded
+	BudgetExhausted  = runctl.BudgetExhausted
+	Failed           = runctl.Failed
+)
+
+// NewFileStore returns a checkpoint Store backed by one JSON file.
+func NewFileStore(path string) *FileStore { return runctl.NewFileStore(path) }
+
+// GenerateWithControl is Generate under a budget: the generator polls
+// ctl once per attempt, checkpoints through its Store, and on a stop
+// returns the valid partial result with Result.Status set. A resumed
+// run finishes bit-identical to an uninterrupted one.
+func GenerateWithControl(sc ScanDesign, faults []Fault, opts GenerateOptions, ctl *Control) GenerateResult {
+	opts.Control = ctl
+	return seqatpg.Generate(sc, faults, opts)
+}
+
+// CompactWithControl is Compact under a budget: both compaction passes
+// poll ctl (one trial per restoration position or omission window) and
+// checkpoint through its Store. On a stop the valid partially compacted
+// sequence is returned with Stats.Status set.
+func CompactWithControl(sc ScanDesign, seq Sequence, faults []Fault, ctl *Control) (Sequence, CompactionStats) {
+	_, omitted, _, ost := compact.RestoreThenOmitOpts(sc.ScanCircuit(), seq, faults, compact.Options{Control: ctl})
+	return omitted, ost
+}
+
+// Observability: the flight-recorder layer from the internal obs
+// package, re-exported so library users can watch a run the same way
+// the commands' -metrics/-debug-addr flags do. Every engine option
+// struct (GenerateOptions, FlowConfig) carries an Obs field; a nil
+// Observer is free and results never depend on observation.
+type (
+	// Observer receives named atomic counters/gauges/timers and
+	// structured per-phase events from the engines.
+	Observer = obs.Observer
+	// MetricsRecorder is an Observer that aggregates instruments and
+	// streams events as JSONL flight-recorder lines.
+	MetricsRecorder = obs.Recorder
+	// MetricsRecorderOptions configures a MetricsRecorder.
+	MetricsRecorderOptions = obs.RecorderOptions
+	// MetricsSnapshot is a point-in-time view of every instrument.
+	MetricsSnapshot = obs.Snapshot
+)
+
+// NewMetricsRecorder builds a flight recorder writing JSONL to w (nil w
+// keeps instruments only). Close it to flush the final snapshot.
+func NewMetricsRecorder(w io.Writer, opts MetricsRecorderOptions) *MetricsRecorder {
+	return obs.NewRecorder(w, opts)
+}
+
+// ValidateMetrics checks a JSONL flight-recorder stream against the
+// schema in docs/ALGORITHMS.md §11 and returns the first violation.
+func ValidateMetrics(r io.Reader) error {
+	_, err := obs.Validate(r)
+	return err
+}
 
 // FirstApproachTestSet generates a conventional first-approach test set
 // (one combinational PODEM test per fault, state fully controllable,

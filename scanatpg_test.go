@@ -98,8 +98,8 @@ func TestFacadeTranslateFlow(t *testing.T) {
 		t.Error("translated length != conventional cycles")
 	}
 	scanFaults := Faults(sc.Scan, true)
-	restored, _ := Restore(sc.Scan, seq, scanFaults)
-	omitted, _ := Omit(sc.Scan, restored, scanFaults)
+	restored, _ := Restore(sc, seq, scanFaults)
+	omitted, _ := Omit(sc, restored, scanFaults)
 	if len(omitted) > len(restored) || len(restored) > len(seq) {
 		t.Error("compaction not monotone")
 	}
