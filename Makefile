@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench fuzz metrics-check clean
+.PHONY: build test race vet bench fuzz metrics-check xcheck clean
 
 build:
 	$(GO) build ./...
@@ -41,6 +41,16 @@ metrics-check:
 	trap 'rm -f $$tmp' EXIT; \
 	$(GO) run ./cmd/scangen -circuit s27 -compact -no-baseline -metrics $$tmp >/dev/null && \
 	$(GO) run ./cmd/metricscheck $$tmp
+
+# xcheck runs the differential/metamorphic cross-check harness
+# (ALGORITHMS.md §12) on fixed seeds across every catalog circuit plus
+# a seeded synthetic one, under the race detector. A violation prints a
+# minimized reproduction and fails the target. Override the seed count
+# with XCHECK_SEEDS=5 for a longer local hunt.
+XCHECK_SEEDS ?= 1
+
+xcheck:
+	$(GO) run -race ./cmd/xcheck -circuits all -seeds $(XCHECK_SEEDS) -start-seed 1
 
 clean:
 	rm -f BENCH_sim.json

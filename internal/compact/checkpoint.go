@@ -57,11 +57,27 @@ func packMask(bs []bool) string {
 	return string(m)
 }
 
-// unpackMask fills bs from a packMask string of the same length.
-func unpackMask(s string, bs []bool) {
+// unpackMask fills bs from a packMask string. A truncated or hand-edited
+// checkpoint whose mask length disagrees with the run must fail the load
+// instead of panicking on the index below, so the mismatch is reported
+// as an error.
+func unpackMask(s string, bs []bool) error {
+	if len(s) != len(bs) {
+		return maskLenError("", len(s), len(bs))
+	}
 	for i := range bs {
 		bs[i] = s[i] == '1'
 	}
+	return nil
+}
+
+// maskLenError builds the canonical checkpoint-mask length mismatch
+// error; name (optional) says which mask field disagreed.
+func maskLenError(name string, have, want int) error {
+	if name == "" {
+		return fmt.Errorf("compact: checkpoint mask length mismatch (mask %d, want %d)", have, want)
+	}
+	return fmt.Errorf("compact: checkpoint mask length mismatch: %s mask %d, want %d", name, have, want)
 }
 
 func loadRestoreCheckpoint(ctl *runctl.Control, inLen, nFaults int) (st restoreCheckpoint, ok bool, err error) {
@@ -73,9 +89,14 @@ func loadRestoreCheckpoint(ctl *runctl.Control, inLen, nFaults int) (st restoreC
 		return st, false, fmt.Errorf("compact: restore checkpoint for %d vectors / %d faults, run has %d / %d",
 			st.InLen, st.Faults, inLen, nFaults)
 	}
-	if len(st.Kept) != inLen || len(st.Covered) != nFaults || st.Pos < 0 {
-		return st, false, fmt.Errorf("compact: restore checkpoint malformed (kept %d, covered %d, pos %d)",
-			len(st.Kept), len(st.Covered), st.Pos)
+	if len(st.Kept) != inLen {
+		return st, false, maskLenError("restore kept", len(st.Kept), inLen)
+	}
+	if len(st.Covered) != nFaults {
+		return st, false, maskLenError("restore covered", len(st.Covered), nFaults)
+	}
+	if st.Pos < 0 {
+		return st, false, fmt.Errorf("compact: restore checkpoint malformed (pos %d)", st.Pos)
 	}
 	return st, true, nil
 }
@@ -107,9 +128,12 @@ func loadOmitCheckpoint(ctl *runctl.Control, inLen, nFaults int) (st omitCheckpo
 		return st, false, fmt.Errorf("compact: omit checkpoint for %d vectors / %d faults, run has %d / %d",
 			st.InLen, st.Faults, inLen, nFaults)
 	}
-	if len(st.Kept) != inLen || len(st.DetAt) != nFaults {
-		return st, false, fmt.Errorf("compact: omit checkpoint malformed (kept %d, det_at %d)",
-			len(st.Kept), len(st.DetAt))
+	if len(st.Kept) != inLen {
+		return st, false, maskLenError("omit kept", len(st.Kept), inLen)
+	}
+	if len(st.DetAt) != nFaults {
+		return st, false, fmt.Errorf("compact: checkpoint mask length mismatch: omit det_at %d, want %d",
+			len(st.DetAt), nFaults)
 	}
 	curLen := 0
 	for i := 0; i < len(st.Kept); i++ {

@@ -125,6 +125,7 @@ func RestoreOpts(c *netlist.Circuit, seq logic.Sequence, faults []fault.Fault, o
 	base := s.Run(seq, faults, sim.Options{})
 	st.Simulations++
 	st.BatchSteps += base.BatchSteps
+	undetected := undetectedIndices(base.DetectedAt)
 	// Order detected faults by decreasing detection time; equal times
 	// keep ascending fault order (the tie-break makes the sort total,
 	// so the restoration order — and the output — is deterministic).
@@ -174,6 +175,11 @@ func RestoreOpts(c *netlist.Circuit, seq logic.Sequence, faults []fault.Fault, o
 		if err == nil && ok && ck.Pos > len(order) {
 			err = errRestorePos(ck.Pos, len(order))
 		}
+		if err == nil && ok {
+			if err = unpackMask(ck.Kept, kept); err == nil {
+				err = unpackMask(ck.Covered, covered)
+			}
+		}
 		if err != nil {
 			ctl.Fail()
 			st.Status, st.Err = runctl.Failed, err
@@ -181,8 +187,6 @@ func RestoreOpts(c *netlist.Circuit, seq logic.Sequence, faults []fault.Fault, o
 		}
 		if ok {
 			resumed = true
-			unpackMask(ck.Kept, kept)
-			unpackMask(ck.Covered, covered)
 			startPos = ck.Pos
 			if ck.Done {
 				startPos = len(order)
@@ -270,7 +274,7 @@ func RestoreOpts(c *netlist.Circuit, seq logic.Sequence, faults []fault.Fault, o
 	out := append(logic.Sequence(nil), build()...)
 	st.AfterLen = len(out)
 	if st.Status.Done() {
-		st.ExtraDetected = countExtra(s, out, faults, base, &st)
+		st.ExtraDetected = countExtra(s, out, faults, undetected, &st)
 	}
 	if st.Err != nil && st.Status != runctl.Failed {
 		ctl.Fail()
@@ -323,12 +327,11 @@ func OmitOpts(c *netlist.Circuit, seq logic.Sequence, faults []fault.Fault, opts
 	defer o.close()
 	o.cTrials = obs.C(ob, "omit.trials")
 	o.cRemoved = obs.C(ob, "omit.removed_vectors")
-	base := sim.Result{DetectedAt: append([]int(nil), o.detAt...)}
-	for _, t := range o.detAt {
-		if t != sim.NotDetected {
-			st.TargetFaults++
-		}
-	}
+	// Snapshot the originally-undetected fault indices now: the trial
+	// engine rewrites o.detAt in place as removals shift detection
+	// times, so nothing derived from it may be read after this point.
+	undetected := undetectedIndices(o.detAt)
+	st.TargetFaults = len(faults) - len(undetected)
 
 	ctl := opts.Control
 	o.ctl = ctl
@@ -426,7 +429,7 @@ func OmitOpts(c *netlist.Circuit, seq logic.Sequence, faults []fault.Fault, opts
 	st.Simulations = o.sims
 	st.BatchSteps = o.steps
 	if st.Status.Done() {
-		st.ExtraDetected = countExtra(s, o.cur, faults, base, &st)
+		st.ExtraDetected = countExtra(s, o.cur, faults, undetected, &st)
 	}
 	if st.Err != nil && st.Status != runctl.Failed {
 		ctl.Fail()
@@ -438,17 +441,27 @@ func OmitOpts(c *netlist.Circuit, seq logic.Sequence, faults []fault.Fault, opts
 	return o.cur, st
 }
 
-// countExtra counts faults the compacted sequence detects that the
-// original did not. (base holds the original detections; note Omit
-// mutates base.DetectedAt's backing array only for already-detected
-// faults, so undetected entries are still authoritative.)
-func countExtra(s *sim.Simulator, out logic.Sequence, faults []fault.Fault, base sim.Result, st *Stats) int {
+// undetectedIndices snapshots the indices of faults a base simulation
+// left undetected. Both compaction passes take this snapshot before
+// their trial loops run, so countExtra can never observe a detection
+// array the pass has since mutated in place (the omitter rewrites its
+// detAt backing array as removals shift detection times; handing that
+// live slice downstream was an aliasing hazard that relied on omission
+// never resetting a detected entry).
+func undetectedIndices(detAt []int) []int {
 	var undetected []int
-	for fi, t := range base.DetectedAt {
+	for fi, t := range detAt {
 		if t == sim.NotDetected {
 			undetected = append(undetected, fi)
 		}
 	}
+	return undetected
+}
+
+// countExtra counts faults the compacted sequence detects that the
+// original did not. undetected is the snapshot of originally-undetected
+// fault indices taken before the pass started (see undetectedIndices).
+func countExtra(s *sim.Simulator, out logic.Sequence, faults []fault.Fault, undetected []int, st *Stats) int {
 	if len(undetected) == 0 {
 		return 0
 	}

@@ -1,0 +1,166 @@
+package compact
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/runctl"
+	"repro/internal/sim"
+)
+
+// interruptedRestoreStore runs a budget-limited restoration so a real
+// checkpoint lands in the returned store.
+func interruptedRestoreStore(t *testing.T, path string) *runctl.FileStore {
+	t.Helper()
+	sc, faults, seq := fixture(t)
+	store := runctl.NewFileStore(path)
+	ctl := &runctl.Control{Budget: runctl.Budget{MaxTrials: 2}, Store: store}
+	_, st := RestoreOpts(sc.Scan, seq, faults, Options{Control: ctl})
+	if st.Status != runctl.BudgetExhausted {
+		t.Fatalf("seed run status %v, want budget exhausted", st.Status)
+	}
+	return store
+}
+
+// TestRestoreCorruptedCheckpointMaskFailsLoad: a truncated (hand-edited)
+// kept mask must fail the resume with a "checkpoint mask length
+// mismatch" error instead of panicking inside unpackMask.
+func TestRestoreCorruptedCheckpointMaskFailsLoad(t *testing.T) {
+	sc, faults, seq := fixture(t)
+	path := filepath.Join(t.TempDir(), "ckpt.json")
+	store := interruptedRestoreStore(t, path)
+
+	// Hand-edit the persisted section: truncate the kept mask while
+	// leaving the guarding in_len field intact.
+	var ck restoreCheckpoint
+	if ok, err := store.Load(restoreSection, &ck); err != nil || !ok {
+		t.Fatalf("load checkpoint: %v %v", ok, err)
+	}
+	ck.Kept = ck.Kept[:len(ck.Kept)-1]
+	if err := store.Save(restoreSection, ck); err != nil {
+		t.Fatal(err)
+	}
+
+	ctl := &runctl.Control{Store: runctl.NewFileStore(path), Resume: true}
+	out, st := RestoreOpts(sc.Scan, seq, faults, Options{Control: ctl})
+	if st.Status != runctl.Failed || st.Err == nil {
+		t.Fatalf("corrupted resume accepted: status %v err %v (out %d vectors)", st.Status, st.Err, len(out))
+	}
+	if !strings.Contains(st.Err.Error(), "checkpoint mask length mismatch") {
+		t.Fatalf("error %q does not name the mask length mismatch", st.Err)
+	}
+}
+
+// TestRestoreCorruptedCoveredMaskFailsLoad: same for the covered mask.
+func TestRestoreCorruptedCoveredMaskFailsLoad(t *testing.T) {
+	sc, faults, seq := fixture(t)
+	path := filepath.Join(t.TempDir(), "ckpt.json")
+	store := interruptedRestoreStore(t, path)
+
+	var ck restoreCheckpoint
+	if ok, err := store.Load(restoreSection, &ck); err != nil || !ok {
+		t.Fatalf("load checkpoint: %v %v", ok, err)
+	}
+	ck.Covered += "0" // extended is as corrupt as truncated
+	if err := store.Save(restoreSection, ck); err != nil {
+		t.Fatal(err)
+	}
+
+	ctl := &runctl.Control{Store: runctl.NewFileStore(path), Resume: true}
+	_, st := RestoreOpts(sc.Scan, seq, faults, Options{Control: ctl})
+	if st.Status != runctl.Failed || st.Err == nil ||
+		!strings.Contains(st.Err.Error(), "checkpoint mask length mismatch") {
+		t.Fatalf("corrupted resume: status %v err %v", st.Status, st.Err)
+	}
+}
+
+// TestOmitCorruptedCheckpointMaskFailsLoad: the omission pass has the
+// same obligation for its kept mask and det_at array.
+func TestOmitCorruptedCheckpointMaskFailsLoad(t *testing.T) {
+	sc, faults, seq := fixture(t)
+	in := padded(sc, seq)
+	store := runctl.NewMemStore()
+	ctl := &runctl.Control{Budget: runctl.Budget{MaxTrials: 1}, Store: store}
+	_, st := OmitOpts(sc.Scan, in, faults, Options{Control: ctl})
+	if st.Status != runctl.BudgetExhausted {
+		t.Fatalf("seed run status %v, want budget exhausted", st.Status)
+	}
+
+	var ck omitCheckpoint
+	if ok, err := store.Load(omitSection, &ck); err != nil || !ok {
+		t.Fatalf("load checkpoint: %v %v", ok, err)
+	}
+	keptBackup := ck.Kept
+	ck.Kept = ck.Kept[:len(ck.Kept)-1]
+	if err := store.Save(omitSection, ck); err != nil {
+		t.Fatal(err)
+	}
+	_, st = OmitOpts(sc.Scan, in, faults, Options{Control: &runctl.Control{Store: store, Resume: true}})
+	if st.Status != runctl.Failed || st.Err == nil ||
+		!strings.Contains(st.Err.Error(), "checkpoint mask length mismatch") {
+		t.Fatalf("truncated kept accepted: status %v err %v", st.Status, st.Err)
+	}
+
+	ck.Kept = keptBackup
+	ck.DetAt = ck.DetAt[:len(ck.DetAt)-1]
+	if err := store.Save(omitSection, ck); err != nil {
+		t.Fatal(err)
+	}
+	_, st = OmitOpts(sc.Scan, in, faults, Options{Control: &runctl.Control{Store: store, Resume: true}})
+	if st.Status != runctl.Failed || st.Err == nil ||
+		!strings.Contains(st.Err.Error(), "checkpoint mask length mismatch") {
+		t.Fatalf("truncated det_at accepted: status %v err %v", st.Status, st.Err)
+	}
+}
+
+// TestExtraDetectedUsesPrePassSnapshot is the regression test for the
+// Omit→countExtra aliasing hazard: the pre-fix code handed countExtra a
+// result built from the omitter's live detAt backing array, relying on
+// the pass never resetting a detected entry. ExtraDetected must always
+// equal an independent recount taken from pristine before/after
+// simulations — for both passes, and for a resumed omission whose detAt
+// has been round-tripped through a checkpoint.
+func TestExtraDetectedUsesPrePassSnapshot(t *testing.T) {
+	sc, faults, seq := fixture(t)
+	in := padded(sc, seq)
+	before := detectedSet(sc, in, faults)
+
+	runs := []struct {
+		label string
+		run   func() (detAt []int, st Stats)
+	}{
+		{"restore", func() ([]int, Stats) {
+			out, st := Restore(sc.Scan, in, faults)
+			return sim.Run(sc.Scan, out, faults, sim.Options{}).DetectedAt, st
+		}},
+		{"omit", func() ([]int, Stats) {
+			out, st := Omit(sc.Scan, in, faults)
+			return sim.Run(sc.Scan, out, faults, sim.Options{}).DetectedAt, st
+		}},
+		{"omit-resumed", func() ([]int, Stats) {
+			store := runctl.NewMemStore()
+			ctl := &runctl.Control{Budget: runctl.Budget{MaxTrials: 1}, Store: store}
+			if _, st := OmitOpts(sc.Scan, in, faults, Options{Control: ctl}); !st.Status.Stopped() {
+				t.Fatalf("seed leg finished in one trial (status %v)", st.Status)
+			}
+			out, st := OmitOpts(sc.Scan, in, faults, Options{Control: &runctl.Control{Store: store, Resume: true}})
+			if st.Status != runctl.Resumed {
+				t.Fatalf("resume status %v", st.Status)
+			}
+			return sim.Run(sc.Scan, out, faults, sim.Options{}).DetectedAt, st
+		}},
+	}
+	for _, r := range runs {
+		afterDet, st := r.run()
+		want := 0
+		for fi := range faults {
+			if !before[fi] && afterDet[fi] != sim.NotDetected {
+				want++
+			}
+		}
+		if st.ExtraDetected != want {
+			t.Errorf("%s: ExtraDetected = %d, independent recount = %d", r.label, st.ExtraDetected, want)
+		}
+	}
+}

@@ -102,6 +102,15 @@ type Budget struct {
 	// MaxTrials, when positive, caps the compaction trials charged via
 	// Control.Trial.
 	MaxTrials int64
+	// StopAfterPolls, when positive, stops the run with Canceled at the
+	// n-th cancellation poll (every ShouldStop, Attempt and Trial call
+	// counts as one poll). It is an interrupt-injection hook for
+	// correctness harnesses (internal/xcheck): unlike Timeout it lands
+	// the stop on an exact, reproducible work boundary — poll sequences
+	// are deterministic for single-worker engines — so checkpoint/resume
+	// bit-identity can be checked at arbitrary interrupt points without
+	// wall-clock flakiness.
+	StopAfterPolls int64
 }
 
 // Control threads a Budget and an optional checkpoint Store through one
@@ -130,6 +139,7 @@ type Control struct {
 	attempts atomic.Int64
 	trials   atomic.Int64
 	ticks    atomic.Int64
+	polls    atomic.Int64
 	stopped  atomic.Int32 // 0 = running, else the sticky Status
 }
 
@@ -180,6 +190,9 @@ func (c *Control) ShouldStop() (Status, bool) {
 	}
 	if !c.deadline.IsZero() && !time.Now().Before(c.deadline) {
 		return c.stop(DeadlineExceeded), true
+	}
+	if n := c.Budget.StopAfterPolls; n > 0 && c.polls.Add(1) >= n {
+		return c.stop(Canceled), true
 	}
 	return Complete, false
 }

@@ -64,6 +64,35 @@ func TestContextCancellation(t *testing.T) {
 	}
 }
 
+func TestStopAfterPolls(t *testing.T) {
+	c := &Control{Budget: Budget{StopAfterPolls: 3}}
+	for i := 0; i < 2; i++ {
+		if st, stop := c.ShouldStop(); stop {
+			t.Fatalf("poll %d: stopped early (%v)", i+1, st)
+		}
+	}
+	st, stop := c.ShouldStop()
+	if !stop || st != Canceled {
+		t.Fatalf("3rd poll = %v, %v; want canceled stop", st, stop)
+	}
+	// Sticky: later polls report the same status.
+	if st, stop := c.Trial(); !stop || st != Canceled {
+		t.Fatalf("sticky status = %v, %v", st, stop)
+	}
+}
+
+// TestStopAfterPollsCountsAttemptsAndTrials: Attempt and Trial poll
+// through ShouldStop, so they advance the injection counter too.
+func TestStopAfterPollsCountsAttemptsAndTrials(t *testing.T) {
+	c := &Control{Budget: Budget{StopAfterPolls: 2}}
+	if st, stop := c.Attempt(); stop {
+		t.Fatalf("1st attempt stopped early (%v)", st)
+	}
+	if st, stop := c.Trial(); !stop || st != Canceled {
+		t.Fatalf("2nd poll (trial) = %v, %v; want canceled stop", st, stop)
+	}
+}
+
 func TestDeadline(t *testing.T) {
 	c := &Control{Budget: Budget{Timeout: time.Millisecond}}
 	c.ShouldStop() // starts the clock

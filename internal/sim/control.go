@@ -52,7 +52,11 @@ type simCheckpoint struct {
 }
 
 // loadSimCheckpoint restores a prior run's batch completion state into
-// done and det. It reports whether anything was restored.
+// done and det. It reports whether a checkpoint was loaded — true even
+// when the prior run was stopped before completing any batch, so a
+// resumed run always reports Resumed, matching the compact engines'
+// semantics for zero-progress checkpoints (a consistency originally
+// pinned down by an internal/xcheck resume/identical violation).
 func loadSimCheckpoint(ctl *runctl.Control, nFaults, seqLen, nBatches int, done []bool, det []int) (bool, error) {
 	var st simCheckpoint
 	ok, err := ctl.Load(ckptSection, &st)
@@ -63,20 +67,18 @@ func loadSimCheckpoint(ctl *runctl.Control, nFaults, seqLen, nBatches int, done 
 		return false, fmt.Errorf("sim: checkpoint mismatch: saved %d faults / %d vectors / %d batches, run has %d / %d / %d",
 			st.Faults, st.SeqLen, len(st.Done), nFaults, seqLen, nBatches)
 	}
-	restored := false
 	for bi := 0; bi < nBatches; bi++ {
 		if st.Done[bi] != '1' {
 			continue
 		}
 		done[bi] = true
-		restored = true
 		end := (bi + 1) * Slots
 		if end > nFaults {
 			end = nFaults
 		}
 		copy(det[bi*Slots:end], st.DetectedAt[bi*Slots:end])
 	}
-	return restored, nil
+	return true, nil
 }
 
 // saveSimCheckpoint persists the current batch completion state.

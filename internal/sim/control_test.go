@@ -12,6 +12,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/logic"
 	"repro/internal/runctl"
+	"repro/internal/scan"
 )
 
 // badFault returns a fault whose injection fails (pin out of range for
@@ -159,6 +160,63 @@ func TestRunCheckpointResumeIdentity(t *testing.T) {
 		if res.DetectedAt[i] != ref.DetectedAt[i] {
 			t.Fatalf("fault %d after full resume: %d vs %d", i, res.DetectedAt[i], ref.DetectedAt[i])
 		}
+	}
+}
+
+// TestResumeFromZeroProgressCheckpointReportsResumed is the minimized
+// reproduction of an internal/xcheck resume/identical violation
+// (circuit s5378_scan, one vector "1110100111111110010000111011111100101",
+// one fault "a19 SA0", shrunk by cmd/xcheck): a run interrupted before
+// completing any batch writes a checkpoint with no finished batches,
+// and the pre-fix resume reported Complete instead of Resumed — unlike
+// the compact engines, which report Resumed for the same zero-progress
+// checkpoint. The detection results were always identical; only the
+// status classification disagreed.
+func TestResumeFromZeroProgressCheckpointReportsResumed(t *testing.T) {
+	c, err := circuits.Load("s5378")
+	if err != nil {
+		t.Fatal(err)
+	}
+	scd, err := scan.Insert(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := logic.ParseVector("1110100111111110010000111011111100101")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := logic.Sequence{v}
+	sig, ok := scd.Scan.SignalByName("a19")
+	if !ok {
+		t.Fatal("signal a19 missing from s5378_scan")
+	}
+	faults := []fault.Fault{{
+		Site: fault.Site{Signal: sig, Gate: -1, Pin: -1, FF: -1},
+		SA:   logic.Zero,
+	}}
+	s := NewSimulator(scd.Scan, 1)
+	want := s.Run(seq, faults, Options{})
+
+	store := runctl.NewMemStore()
+	res := s.Run(seq, faults, Options{Control: &runctl.Control{
+		Budget: runctl.Budget{StopAfterPolls: 1}, Store: store,
+	}})
+	if res.Status != runctl.Canceled {
+		t.Fatalf("interrupted leg status = %v, want canceled", res.Status)
+	}
+	if res.NumDetected() != 0 {
+		t.Fatalf("stop at first poll ran %d detections", res.NumDetected())
+	}
+
+	res = s.Run(seq, faults, Options{Control: &runctl.Control{Store: store, Resume: true}})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res.Status != runctl.Resumed {
+		t.Fatalf("resumed leg status = %v, want resumed", res.Status)
+	}
+	if res.DetectedAt[0] != want.DetectedAt[0] {
+		t.Fatalf("resumed detection %d, uninterrupted %d", res.DetectedAt[0], want.DetectedAt[0])
 	}
 }
 

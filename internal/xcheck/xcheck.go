@@ -1,0 +1,118 @@
+package xcheck
+
+import (
+	"fmt"
+	"time"
+)
+
+// Config drives one harness run.
+type Config struct {
+	// Circuits lists circuit specs (catalog names or SynthCircuit).
+	Circuits []string
+	// Seeds is how many seeds to run per circuit (minimum 1).
+	Seeds int
+	// StartSeed is the first seed; seed i of circuit c is derived from
+	// StartSeed+i and c, so runs are reproducible from the two numbers.
+	StartSeed uint64
+	// Duration, when positive, is a soft wall-clock budget: no new
+	// workload starts after it elapses (the current one finishes).
+	Duration time.Duration
+	// Shrink minimizes every violation before reporting it.
+	Shrink bool
+	// MaxShrinkChecks bounds the shrinker's re-evaluation budget per
+	// violation (0 = default).
+	MaxShrinkChecks int
+	// Invariants overrides the checked invariant set (nil = all).
+	Invariants []Invariant
+	// Log, when non-nil, receives progress lines.
+	Log func(format string, args ...any)
+}
+
+// Summary reports what a Run covered.
+type Summary struct {
+	// Workloads is how many (circuit, seed) workloads were generated
+	// and checked; Checks counts invariant evaluations across them.
+	Workloads, Checks int
+	// Skipped counts workloads dropped by the Duration budget. A
+	// non-zero value means coverage was NOT complete.
+	Skipped int
+	Elapsed time.Duration
+}
+
+func (s Summary) String() string {
+	msg := fmt.Sprintf("%d workloads, %d checks in %v", s.Workloads, s.Checks, s.Elapsed.Round(time.Millisecond))
+	if s.Skipped > 0 {
+		msg += fmt.Sprintf(" (%d workloads SKIPPED on duration budget)", s.Skipped)
+	}
+	return msg
+}
+
+// seedFor mixes the run seed with the circuit position so two circuits
+// never share a workload stream.
+func seedFor(start uint64, seedIdx, circuitIdx int) uint64 {
+	return (start+uint64(seedIdx))*0x2545F4914F6CDD1D + uint64(circuitIdx)*0x9E3779B97F4A7C15
+}
+
+// Run executes the harness: for every circuit × seed it generates a
+// workload and evaluates every invariant, shrinking and collecting any
+// violation. The violation slice is empty on a fully passing run.
+func Run(cfg Config) ([]*Violation, Summary) {
+	start := time.Now()
+	logf := cfg.Log
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	seeds := cfg.Seeds
+	if seeds < 1 {
+		seeds = 1
+	}
+	invs := cfg.Invariants
+	if invs == nil {
+		invs = Invariants()
+	}
+
+	var violations []*Violation
+	var sum Summary
+	for si := 0; si < seeds; si++ {
+		for ci, circuit := range cfg.Circuits {
+			if cfg.Duration > 0 && time.Since(start) > cfg.Duration {
+				sum.Skipped++
+				continue
+			}
+			seed := seedFor(cfg.StartSeed, si, ci)
+			w, err := Generate(circuit, seed)
+			if err != nil {
+				// A workload that cannot be built is itself a violation:
+				// it means a catalog or generator regression.
+				violations = append(violations, &Violation{
+					Invariant: "generate",
+					Workload:  &Workload{Circuit: circuit, Seed: seed},
+					Detail:    err.Error(),
+				})
+				continue
+			}
+			sum.Workloads++
+			logf("xcheck: %s seed=%d (%d vectors, %d faults)", circuit, seed, len(w.Seq), len(w.Faults))
+			for _, inv := range invs {
+				sum.Checks++
+				msg := inv.Check(w)
+				if msg == "" {
+					continue
+				}
+				logf("xcheck: FAIL %s on %s seed=%d: %s", inv.Name, circuit, seed, msg)
+				v := &Violation{Invariant: inv.Name, Workload: w, Detail: msg}
+				if cfg.Shrink {
+					v = Shrink(inv, w, msg, cfg.MaxShrinkChecks)
+					logf("xcheck: shrunk to %d vectors / %d faults in %d checks",
+						len(v.Workload.Seq), len(v.Workload.Faults), v.ShrinkChecks)
+				}
+				violations = append(violations, v)
+			}
+		}
+	}
+	sum.Elapsed = time.Since(start)
+	if sum.Skipped > 0 {
+		logf("xcheck: duration budget cut coverage: %d workloads skipped", sum.Skipped)
+	}
+	return violations, sum
+}
