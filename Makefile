@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench fuzz metrics-check xcheck clean
+.PHONY: build test race vet bench bench-compact fuzz metrics-check xcheck clean
 
 build:
 	$(GO) build ./...
@@ -25,6 +25,16 @@ bench:
 		-benchmem -benchtime $(BENCHTIME) ./internal/sim/ && \
 	  $(GO) test -run '^$$' -bench 'Compaction' -benchmem -benchtime 1x ./internal/compact/ ; } | \
 		tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_sim.json
+
+# bench-compact runs the compaction trial-engine benchmarks — the
+# incremental engine against the serial scratch reference across worker
+# counts (trial throughput, prefix-cache reuse, reconvergence cutoffs)
+# plus the ADI scoring pass — and writes BENCH_compact.json:
+#   make bench-compact BENCHTIME=1x     # CI smoke
+bench-compact:
+	$(GO) test -run '^$$' -bench 'CompactionEngines|ADIScores' \
+		-benchmem -benchtime $(BENCHTIME) ./internal/compact/ | \
+		tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_compact.json
 
 # fuzz runs the .bench parser fuzzer for a short smoke interval, as CI
 # does. Override with FUZZTIME=5m for a longer local run.
@@ -53,4 +63,4 @@ xcheck:
 	$(GO) run -race ./cmd/xcheck -circuits all -seeds $(XCHECK_SEEDS) -start-seed 1
 
 clean:
-	rm -f BENCH_sim.json
+	rm -f BENCH_sim.json BENCH_compact.json

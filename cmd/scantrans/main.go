@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/compact"
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/report"
@@ -28,7 +29,9 @@ func main() {
 		printTrans = flag.Bool("print-translated", false, "with -circuit: print the translated sequence")
 		printFinal = flag.Bool("print-compacted", false, "with -circuit: print the compacted sequence")
 		noCollapse = flag.Bool("no-collapse", false, "disable fault equivalence collapsing")
-		omitCap    = flag.Int("omit-cap", 0, "skip omission when the restored sequence exceeds this many vectors (0 = never)")
+		omitCap    = flag.Int("omit-cap", 0, "skip omission when the restored sequence exceeds this many vectors (0 = never; skips are warned)")
+		engine     = flag.String("compact-engine", "auto", "compaction trial engine: auto, incremental or scratch (output identical)")
+		adiOrder   = flag.Bool("adi-order", false, "restore faults in increasing accidental-detection-index order (changes the output)")
 		verbose    = flag.Bool("v", false, "progress to stderr")
 	)
 	oc := obs.RegisterFlags("scantrans")
@@ -39,11 +42,21 @@ func main() {
 		os.Exit(2)
 	}
 
+	eng, err := compact.ParseEngine(*engine)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scantrans:", err)
+		os.Exit(2)
+	}
 	cfg := core.DefaultConfig()
 	cfg.Seed = *seed
 	cfg.Collapse = !*noCollapse
 	cfg.OmitLenCap = *omitCap
+	cfg.Engine = eng
+	if *adiOrder {
+		cfg.Order = compact.OrderADI
+	}
 	cfg.Obs = ort.Observer()
+	cfg.Warn = os.Stderr
 
 	switch {
 	case *circuit != "":

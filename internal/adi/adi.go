@@ -1,0 +1,118 @@
+// Package adi computes the Accidental Detection Index of Pomeranz &
+// Reddy's fault-ordering follow-up (PAPERS.md, arXiv 0710.4637): for
+// every fault, the number of time steps of a sequence at which the
+// fault is observable on a primary output. A fault with a low index is
+// rarely detected by accident, so targeting it early makes the vectors
+// kept for it cover many high-index faults for free; compaction uses
+// the scores to reorder restoration targets (compact.OrderADI).
+package adi
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/fault"
+	"repro/internal/logic"
+	"repro/internal/sim"
+)
+
+// Scores returns, for every fault, how many cycles of seq expose it on
+// some primary output, plus the batch-step count of the work performed
+// (same unit as sim.Result.BatchSteps). Unlike detection-oriented
+// fault simulation there is no early exit — every cycle contributes —
+// so the count is an observability profile of the whole sequence, and
+// it is deterministic and identical for every worker count of s.
+func Scores(s *sim.Simulator, seq logic.Sequence, faults []fault.Fault) ([]int, int64) {
+	counts := make([]int, len(faults))
+	if len(seq) == 0 || len(faults) == 0 {
+		return counts, 0
+	}
+	c := s.Circuit()
+	nPO := c.NumOutputs()
+
+	// One fault-free pass records the reference output rows.
+	good := s.Acquire()
+	rows := make([][]logic.Value, len(seq))
+	for t, v := range seq {
+		good.Step(v)
+		row := make([]logic.Value, nPO)
+		for po := range row {
+			row[po] = good.OutputSlot(po, 0)
+		}
+		rows[t] = row
+	}
+	s.Release(good)
+
+	nBatches := (len(faults) + sim.Slots - 1) / sim.Slots
+	var steps atomic.Int64
+	runBatch := func(m *sim.Machine, bi int) {
+		start := bi * sim.Slots
+		end := start + sim.Slots
+		if end > len(faults) {
+			end = len(faults)
+		}
+		n := end - start
+		m.ClearFaults()
+		m.Reset()
+		for k, f := range faults[start:end] {
+			if err := m.InjectFault(f, uint64(1)<<uint(k)); err != nil {
+				panic(err)
+			}
+		}
+		allMask := sim.AllSlots
+		if n < sim.Slots {
+			allMask = (uint64(1) << uint(n)) - 1
+		}
+		for t, v := range seq {
+			m.Step(v)
+			row := rows[t]
+			var det uint64
+			for po := range row {
+				if !row[po].IsBinary() {
+					continue
+				}
+				gz, gd := sim.ValuePlanes(row[po])
+				fz, fd := m.OutputPlanes(po)
+				det |= sim.DetectMask(gz, gd, fz, fd)
+			}
+			for mm := det & allMask; mm != 0; mm &= mm - 1 {
+				counts[start+bits.TrailingZeros64(mm)]++
+			}
+		}
+		steps.Add(int64(len(seq)))
+	}
+
+	nw := s.Workers()
+	if nw > nBatches {
+		nw = nBatches
+	}
+	if nw <= 1 {
+		m := s.Acquire()
+		for bi := 0; bi < nBatches; bi++ {
+			runBatch(m, bi)
+		}
+		s.Release(m)
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < nw; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				m := s.Acquire()
+				defer s.Release(m)
+				for {
+					bi := int(next.Add(1)) - 1
+					if bi >= nBatches {
+						return
+					}
+					// Batches write disjoint counts ranges.
+					runBatch(m, bi)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	return counts, steps.Load()
+}

@@ -1,0 +1,101 @@
+package adi
+
+import (
+	"testing"
+
+	"repro/internal/circuits"
+	"repro/internal/fault"
+	"repro/internal/logic"
+	"repro/internal/sim"
+)
+
+func randSeq(n, width int, seed uint64) logic.Sequence {
+	rng := logic.NewRandFiller(seed)
+	seq := make(logic.Sequence, n)
+	for i := range seq {
+		v := make(logic.Vector, width)
+		for j := range v {
+			v[j] = rng.Next()
+		}
+		seq[i] = v
+	}
+	return seq
+}
+
+// TestScoresMatchReference cross-checks the batch engine against a
+// brute-force slot-0 single-fault count of detecting cycles.
+func TestScoresMatchReference(t *testing.T) {
+	for _, name := range []string{"s27", "s298"} {
+		t.Run(name, func(t *testing.T) {
+			c, err := circuits.Load(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			faults := fault.Universe(c, true)
+			seq := randSeq(90, c.NumInputs(), 4)
+			s := sim.NewSimulator(c, 4)
+			counts, steps := Scores(s, seq, faults)
+			if want := int64(len(seq)) * int64((len(faults)+sim.Slots-1)/sim.Slots); steps != want {
+				t.Fatalf("steps = %d, want %d", steps, want)
+			}
+
+			good := sim.New(c)
+			rows := make([][]logic.Value, len(seq))
+			for ti, v := range seq {
+				good.Step(v)
+				row := make([]logic.Value, c.NumOutputs())
+				for po := range row {
+					row[po] = good.OutputSlot(po, 0)
+				}
+				rows[ti] = row
+			}
+			for fi, f := range faults {
+				m := sim.New(c)
+				if err := m.InjectFault(f, 1); err != nil {
+					t.Fatal(err)
+				}
+				want := 0
+				for ti, v := range seq {
+					m.Step(v)
+					for po := range rows[ti] {
+						gv := rows[ti][po]
+						if !gv.IsBinary() {
+							continue
+						}
+						gz, gd := sim.ValuePlanes(gv)
+						fz, fd := m.OutputPlanes(po)
+						if sim.DetectMask(gz, gd, fz, fd)&1 != 0 {
+							want++
+							break
+						}
+					}
+				}
+				if counts[fi] != want {
+					t.Fatalf("fault %d: score %d, want %d", fi, counts[fi], want)
+				}
+			}
+		})
+	}
+}
+
+// TestScoresWorkerDeterminism: identical scores at every worker count.
+func TestScoresWorkerDeterminism(t *testing.T) {
+	c, err := circuits.Load("s298")
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := fault.Universe(c, true)
+	seq := randSeq(140, c.NumInputs(), 6)
+	ref, refSteps := Scores(sim.NewSimulator(c, 1), seq, faults)
+	for _, w := range []int{2, 8} {
+		got, steps := Scores(sim.NewSimulator(c, w), seq, faults)
+		if steps != refSteps {
+			t.Fatalf("workers=%d: steps %d, want %d", w, steps, refSteps)
+		}
+		for fi := range ref {
+			if got[fi] != ref[fi] {
+				t.Fatalf("workers=%d fault %d: score %d, want %d", w, fi, got[fi], ref[fi])
+			}
+		}
+	}
+}

@@ -19,6 +19,12 @@ const (
 type restoreCheckpoint struct {
 	InLen  int `json:"in_len"`
 	Faults int `json:"faults"`
+	// Order records the target-order policy the interrupted run used
+	// (Order.String()); a resume under a different policy would walk a
+	// different order with the same position, so the load refuses it.
+	// Absent in checkpoints written before ADI ordering existed, which
+	// decodes as "" and matches only OrderDetection.
+	Order string `json:"order,omitempty"`
 	// Pos is the next restoration-order position to process.
 	Pos int `json:"pos"`
 	// Kept marks input vectors restored so far ('1' per kept position).
@@ -80,7 +86,7 @@ func maskLenError(name string, have, want int) error {
 	return fmt.Errorf("compact: checkpoint mask length mismatch: %s mask %d, want %d", name, have, want)
 }
 
-func loadRestoreCheckpoint(ctl *runctl.Control, inLen, nFaults int) (st restoreCheckpoint, ok bool, err error) {
+func loadRestoreCheckpoint(ctl *runctl.Control, inLen, nFaults int, order Order) (st restoreCheckpoint, ok bool, err error) {
 	ok, err = ctl.Load(restoreSection, &st)
 	if err != nil || !ok {
 		return st, false, err
@@ -88,6 +94,13 @@ func loadRestoreCheckpoint(ctl *runctl.Control, inLen, nFaults int) (st restoreC
 	if st.InLen != inLen || st.Faults != nFaults {
 		return st, false, fmt.Errorf("compact: restore checkpoint for %d vectors / %d faults, run has %d / %d",
 			st.InLen, st.Faults, inLen, nFaults)
+	}
+	have := st.Order
+	if have == "" {
+		have = OrderDetection.String()
+	}
+	if have != order.String() {
+		return st, false, fmt.Errorf("compact: restore checkpoint used %s order, run uses %s", have, order)
 	}
 	if len(st.Kept) != inLen {
 		return st, false, maskLenError("restore kept", len(st.Kept), inLen)
@@ -101,13 +114,14 @@ func loadRestoreCheckpoint(ctl *runctl.Control, inLen, nFaults int) (st restoreC
 	return st, true, nil
 }
 
-func saveRestoreCheckpoint(ctl *runctl.Control, inLen, nFaults, pos int, kept, covered []bool, done, final bool) error {
+func saveRestoreCheckpoint(ctl *runctl.Control, inLen, nFaults int, order Order, pos int, kept, covered []bool, done, final bool) error {
 	if ctl == nil || ctl.Store == nil {
 		return nil
 	}
 	st := restoreCheckpoint{
 		InLen:   inLen,
 		Faults:  nFaults,
+		Order:   order.String(),
 		Pos:     pos,
 		Kept:    packMask(kept),
 		Covered: packMask(covered),

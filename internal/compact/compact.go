@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/adi"
 	"repro/internal/fault"
 	"repro/internal/logic"
 	"repro/internal/netlist"
@@ -31,6 +32,85 @@ import (
 	"repro/internal/runctl"
 	"repro/internal/sim"
 )
+
+// Engine selects the trial-engine implementation behind both passes.
+// Every engine produces bit-identical compacted sequences (and the
+// semantic Stats fields BeforeLen/AfterLen/TargetFaults/ExtraDetected);
+// only the work performed differs, so Simulations and BatchSteps are
+// engine-specific accounting. The xcheck invariant "compact/engines"
+// pins the equivalence across the seeded catalog.
+type Engine uint8
+
+const (
+	// EngineAuto selects EngineIncremental.
+	EngineAuto Engine = iota
+	// EngineIncremental is the incremental, parallel trial engine:
+	// restoration verdicts are cached per trial version and coverage is
+	// refreshed by wide multi-batch lookahead runs that fan out across
+	// the simulator's workers; omission evaluates the independent
+	// per-batch trial jobs of a removal speculatively in parallel,
+	// charging only the deadline-order job prefix the serial engine
+	// would have run. Deterministic merges keep the output — and the
+	// Stats — identical at every worker count.
+	EngineIncremental
+	// EngineScratch is the serial reference engine: one coverage check
+	// per uncovered restoration target, omission jobs evaluated
+	// earliest-deadline-first with an early exit on the first failure.
+	EngineScratch
+)
+
+// incremental reports whether the engine runs the incremental paths.
+func (e Engine) incremental() bool { return e != EngineScratch }
+
+// String names the engine the way ParseEngine spells it.
+func (e Engine) String() string {
+	switch e {
+	case EngineIncremental:
+		return "incremental"
+	case EngineScratch:
+		return "scratch"
+	default:
+		return "auto"
+	}
+}
+
+// ParseEngine parses a -compact-engine flag value.
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "", "auto":
+		return EngineAuto, nil
+	case "incremental":
+		return EngineIncremental, nil
+	case "scratch":
+		return EngineScratch, nil
+	}
+	return EngineAuto, fmt.Errorf("compact: unknown engine %q (want auto, incremental or scratch)", s)
+}
+
+// Order selects the restoration target order. The order changes which
+// vectors restoration keeps, so unlike Engine it legitimately changes
+// the compacted output; a golden test pins each order's result.
+type Order uint8
+
+const (
+	// OrderDetection processes faults by decreasing detection time —
+	// the paper's own order (reference [23]).
+	OrderDetection Order = iota
+	// OrderADI processes faults by increasing accidental-detection
+	// index (see internal/adi): faults that are rarely detected by
+	// accident go first, so the vectors restored for them cover many
+	// easy faults before those are ever examined. Ties fall back to
+	// decreasing detection time.
+	OrderADI
+)
+
+// String names the order for checkpoints and diagnostics.
+func (o Order) String() string {
+	if o == OrderADI {
+		return "adi"
+	}
+	return "detection"
+}
 
 // Options tunes a compaction pass. The zero value selects a private
 // simulator with runtime.GOMAXPROCS workers.
@@ -62,6 +142,13 @@ type Options struct {
 	// without it. A private simulator built by the pass is observed
 	// too; a caller-supplied Sim keeps whatever observer it already has.
 	Obs obs.Observer
+	// Engine selects the trial engine (see Engine); the zero value is
+	// EngineAuto, i.e. the incremental engine. The compacted output is
+	// identical for every engine.
+	Engine Engine
+	// Order selects the restoration target order (see Order). Unlike
+	// every other option, a non-default order changes the output.
+	Order Order
 }
 
 func (o Options) simulator(c *netlist.Circuit) *sim.Simulator {
@@ -126,23 +213,15 @@ func RestoreOpts(c *netlist.Circuit, seq logic.Sequence, faults []fault.Fault, o
 	st.Simulations++
 	st.BatchSteps += base.BatchSteps
 	undetected := undetectedIndices(base.DetectedAt)
-	// Order detected faults by decreasing detection time; equal times
-	// keep ascending fault order (the tie-break makes the sort total,
-	// so the restoration order — and the output — is deterministic).
-	var order []int
-	for fi, t := range base.DetectedAt {
-		if t != sim.NotDetected {
-			order = append(order, fi)
-		}
+	var scores []int
+	if opts.Order == OrderADI {
+		var adiSteps int64
+		scores, adiSteps = adi.Scores(s, seq, faults)
+		st.Simulations++
+		st.BatchSteps += adiSteps
 	}
+	order := restorationOrder(base.DetectedAt, opts.Order, scores)
 	st.TargetFaults = len(order)
-	sort.Slice(order, func(a, b int) bool {
-		ta, tb := base.DetectedAt[order[a]], base.DetectedAt[order[b]]
-		if ta != tb {
-			return ta > tb
-		}
-		return order[a] < order[b]
-	})
 
 	kept := make([]bool, len(seq))
 	scratch := make(logic.Sequence, 0, len(seq))
@@ -171,7 +250,7 @@ func RestoreOpts(c *netlist.Circuit, seq logic.Sequence, faults []fault.Fault, o
 	startPos := 0
 	resumed := false
 	if ctl.Resuming() {
-		ck, ok, err := loadRestoreCheckpoint(ctl, len(seq), len(faults))
+		ck, ok, err := loadRestoreCheckpoint(ctl, len(seq), len(faults), opts.Order)
 		if err == nil && ok && ck.Pos > len(order) {
 			err = errRestorePos(ck.Pos, len(order))
 		}
@@ -200,30 +279,60 @@ func RestoreOpts(c *netlist.Circuit, seq logic.Sequence, faults []fault.Fault, o
 	if resumed {
 		obs.Emit(ob, "restore", "resume", obs.F("pos", startPos))
 	}
-	group := make([]int, 0, sim.Slots)
-	fbuf := make([]fault.Fault, 0, sim.Slots)
-	detBuf := make([]int, 0, sim.Slots)
+	// The incremental engine tracks, per fault, the trial version (the
+	// number of restoration commits so far) at which the fault was last
+	// verified undetected. A fault whose verification is still current
+	// needs no new simulation at processing time: the restored
+	// subsequence has not changed since a lookahead refresh checked it,
+	// so the verdict "uncovered — restore vectors" is already known.
+	// Because covered flags are monotone (restoration only adds
+	// vectors), skipping the re-check cannot change any decision the
+	// scratch engine would make.
+	incremental := opts.Engine.incremental()
+	var checkedAt []int
+	ver := 1
+	if incremental {
+		checkedAt = make([]int, len(faults))
+	}
+	group := make([]int, 0, restoreLookahead)
+	fbuf := make([]fault.Fault, 0, restoreLookahead)
+	detBuf := make([]int, 0, restoreLookahead)
 	for pos := startPos; pos < len(order); pos++ {
 		if stop, halted := ctl.Trial(); halted {
 			st.Status = stop
-			st.Err = saveRestoreCheckpoint(ctl, len(seq), len(faults), pos, kept, covered, false, true)
+			st.Err = saveRestoreCheckpoint(ctl, len(seq), len(faults), opts.Order, pos, kept, covered, false, true)
 			break
 		}
 		fi := order[pos]
 		cTrials.Inc()
-		if !covered[fi] {
-			// Batch-check this fault together with the next
-			// still-uncovered ones in its 64-wide window.
-			end := pos + sim.Slots
-			if end > len(order) {
-				end = len(order)
-			}
+		if !covered[fi] && !(incremental && checkedAt[fi] == ver) {
 			group = group[:0]
-			for _, gi := range order[pos:end] {
-				if covered[gi] {
-					continue
+			if incremental {
+				// Refresh coverage for the next restoreLookahead
+				// still-uncovered targets in one multi-batch run; the
+				// batches fan out across the simulator's workers.
+				for _, gi := range order[pos:] {
+					if covered[gi] {
+						continue
+					}
+					group = append(group, gi)
+					if len(group) == restoreLookahead {
+						break
+					}
 				}
-				group = append(group, gi)
+			} else {
+				// Batch-check this fault together with the next
+				// still-uncovered ones in its 64-wide window.
+				end := pos + sim.Slots
+				if end > len(order) {
+					end = len(order)
+				}
+				for _, gi := range order[pos:end] {
+					if covered[gi] {
+						continue
+					}
+					group = append(group, gi)
+				}
 			}
 			st.Simulations++
 			r := s.RunSubset(build(), faults, group, sim.Options{}, fbuf, detBuf)
@@ -232,6 +341,8 @@ func RestoreOpts(c *netlist.Circuit, seq logic.Sequence, faults []fault.Fault, o
 				if r.Detected(i) {
 					covered[gi] = true
 					cCovered.Inc()
+				} else if incremental {
+					checkedAt[gi] = ver
 				}
 			}
 		}
@@ -258,6 +369,7 @@ func RestoreOpts(c *netlist.Circuit, seq logic.Sequence, faults []fault.Fault, o
 				break
 			}
 			restoredHere += added
+			ver++
 			if detects(fi) {
 				break
 			}
@@ -266,10 +378,10 @@ func RestoreOpts(c *netlist.Circuit, seq logic.Sequence, faults []fault.Fault, o
 		obs.Emit(ob, "restore", "fault",
 			obs.F("pos", pos), obs.F("fault", fi),
 			obs.F("covered", false), obs.F("restored", restoredHere))
-		st.Err = saveRestoreCheckpoint(ctl, len(seq), len(faults), pos+1, kept, covered, false, false)
+		st.Err = saveRestoreCheckpoint(ctl, len(seq), len(faults), opts.Order, pos+1, kept, covered, false, false)
 	}
 	if st.Status.Done() {
-		st.Err = saveRestoreCheckpoint(ctl, len(seq), len(faults), len(order), kept, covered, true, true)
+		st.Err = saveRestoreCheckpoint(ctl, len(seq), len(faults), opts.Order, len(order), kept, covered, true, true)
 	}
 	out := append(logic.Sequence(nil), build()...)
 	st.AfterLen = len(out)
@@ -291,6 +403,42 @@ func RestoreOpts(c *netlist.Circuit, seq logic.Sequence, faults []fault.Fault, o
 func errRestorePos(pos, n int) error {
 	return fmt.Errorf("compact: restore checkpoint position %d outside order of %d", pos, n)
 }
+
+// restorationOrder lists the detected faults in the order restoration
+// processes them. OrderDetection sorts by decreasing detection time;
+// OrderADI sorts by increasing accidental-detection score (scores must
+// then be per-fault ADI counts) with detection time as the tie-break.
+// The final ascending-fault-index tie-break makes the sort total, so
+// the restoration order — and the output — is deterministic.
+func restorationOrder(detAt []int, policy Order, scores []int) []int {
+	var order []int
+	for fi, t := range detAt {
+		if t != sim.NotDetected {
+			order = append(order, fi)
+		}
+	}
+	sort.Slice(order, func(a, b int) bool {
+		fa, fb := order[a], order[b]
+		if policy == OrderADI && scores[fa] != scores[fb] {
+			return scores[fa] < scores[fb]
+		}
+		ta, tb := detAt[fa], detAt[fb]
+		if ta != tb {
+			return ta > tb
+		}
+		return fa < fb
+	})
+	return order
+}
+
+// restoreLookahead is how many still-uncovered targets ahead of the
+// current position the incremental engine's coverage refresh checks in
+// one multi-batch run. The constant is deliberately independent of the
+// worker count — a worker-sized lookahead would make Simulations
+// depend on GOMAXPROCS — and four batches are enough to keep small
+// worker pools busy without wasting checks that a later insertion
+// invalidates anyway.
+const restoreLookahead = 4 * sim.Slots
 
 // omitBlock is the initial block size for omission trials. Whole blocks
 // of vectors are tried first and bisected on failure (segment pruning
@@ -325,8 +473,11 @@ func OmitOpts(c *netlist.Circuit, seq logic.Sequence, faults []fault.Fault, opts
 	}()
 	o := newOmitter(s, seq, faults)
 	defer o.close()
+	o.parallel = opts.Engine.incremental()
 	o.cTrials = obs.C(ob, "omit.trials")
 	o.cRemoved = obs.C(ob, "omit.removed_vectors")
+	o.cReconv = obs.C(ob, "omit.reconv_cutoffs")
+	o.cWinHits = obs.C(ob, "omit.window_memo_hits")
 	// Snapshot the originally-undetected fault indices now: the trial
 	// engine rewrites o.detAt in place as removals shift detection
 	// times, so nothing derived from it may be read after this point.
@@ -409,6 +560,7 @@ func OmitOpts(c *netlist.Circuit, seq logic.Sequence, faults []fault.Fault, opts
 			snapDet = append([]int(nil), o.detAt...)
 		}
 		before := len(o.cur)
+		o.beginWindow(lo)
 		removeRange(lo, t)
 		if o.stopStatus.Stopped() {
 			st.Status = o.stopStatus

@@ -71,6 +71,87 @@ func TestRestoreThenOmitGolden(t *testing.T) {
 	}
 }
 
+// TestADIOrderGolden pins the pipeline output under OrderADI. The ADI
+// order is the one option that legitimately changes the compacted
+// sequence, so it gets its own goldens; on these circuits it beats the
+// paper's detection order (s298: 241 → 195 final vectors).
+func TestADIOrderGolden(t *testing.T) {
+	golden := []struct {
+		circuit                 string
+		raw, restored, omitted  int
+		restorHash, omittedHash uint64
+	}{
+		{"s27", 32, 21, 18, 0x715b61fc0b478aaa, 0xb0a7f6ab5010a67a},
+		{"s298", 406, 233, 195, 0x022c7d20d554dcf7, 0x9ec919df3d652c4a},
+		{"s344", 274, 232, 173, 0xf34944c2d96ca8bc, 0x6db76292ff6e0941},
+	}
+	for _, g := range golden {
+		g := g
+		t.Run(g.circuit, func(t *testing.T) {
+			c, err := circuits.Load(g.circuit)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sc, err := scan.Insert(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			faults := fault.Universe(sc.Scan, true)
+			gen := seqatpg.Generate(sc, faults, seqatpg.Options{Seed: 1})
+			if len(gen.Sequence) != g.raw {
+				t.Fatalf("raw sequence length %d, golden %d", len(gen.Sequence), g.raw)
+			}
+			restored, omitted, _, _ := RestoreThenOmitOpts(sc.Scan, gen.Sequence, faults, Options{Order: OrderADI})
+			if len(restored) != g.restored || hashSeq(restored) != g.restorHash {
+				t.Errorf("restored: len %d hash %#x, golden len %d hash %#x",
+					len(restored), hashSeq(restored), g.restored, g.restorHash)
+			}
+			if len(omitted) != g.omitted || hashSeq(omitted) != g.omittedHash {
+				t.Errorf("omitted: len %d hash %#x, golden len %d hash %#x",
+					len(omitted), hashSeq(omitted), g.omitted, g.omittedHash)
+			}
+		})
+	}
+}
+
+// TestEngineOutputsIdentical: the scratch engine reproduces the
+// incremental engine's sequences and semantic stats exactly, in both
+// restoration orders (the xcheck invariant "compact/engines" covers the
+// whole seeded catalog; this is the fast in-package version).
+func TestEngineOutputsIdentical(t *testing.T) {
+	c, err := circuits.Load("s298")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := scan.Insert(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := fault.Universe(sc.Scan, true)
+	gen := seqatpg.Generate(sc, faults, seqatpg.Options{Seed: 1})
+	semantic := func(st Stats) [4]int {
+		return [4]int{st.BeforeLen, st.AfterLen, st.TargetFaults, st.ExtraDetected}
+	}
+	for _, order := range []Order{OrderDetection, OrderADI} {
+		rInc, oInc, rstInc, ostInc := RestoreThenOmitOpts(sc.Scan, gen.Sequence, faults,
+			Options{Engine: EngineIncremental, Order: order})
+		rScr, oScr, rstScr, ostScr := RestoreThenOmitOpts(sc.Scan, gen.Sequence, faults,
+			Options{Engine: EngineScratch, Order: order})
+		if hashSeq(rInc) != hashSeq(rScr) || len(rInc) != len(rScr) {
+			t.Errorf("order=%s: restored sequences differ (incremental %d, scratch %d)", order, len(rInc), len(rScr))
+		}
+		if hashSeq(oInc) != hashSeq(oScr) || len(oInc) != len(oScr) {
+			t.Errorf("order=%s: omitted sequences differ (incremental %d, scratch %d)", order, len(oInc), len(oScr))
+		}
+		if semantic(rstInc) != semantic(rstScr) {
+			t.Errorf("order=%s: restore semantic stats differ: %v vs %v", order, semantic(rstInc), semantic(rstScr))
+		}
+		if semantic(ostInc) != semantic(ostScr) {
+			t.Errorf("order=%s: omit semantic stats differ: %v vs %v", order, semantic(ostInc), semantic(ostScr))
+		}
+	}
+}
+
 // TestCompactionWorkerDeterminism: the compacted sequence and the work
 // accounting must be identical for one worker and many — parallelism
 // only changes wall-clock time.

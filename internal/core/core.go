@@ -12,6 +12,7 @@ package core
 
 import (
 	"fmt"
+	"io"
 
 	"repro/internal/baseline"
 	"repro/internal/circuits"
@@ -46,11 +47,23 @@ type Config struct {
 	// SkipCompaction stops after raw generation.
 	SkipCompaction bool
 	// OmitLenCap skips the omission pass when the restored sequence
-	// is longer than this many vectors (0 = never skip). Omission is
-	// quadratic in sequence length on a single core; the paper's own
-	// largest circuit saw no compaction gain at all (Table 6, s35932),
-	// and restoration delivers most of the reduction on big circuits.
+	// is longer than this many vectors (0 = never skip, the default).
+	// The cap predates the incremental trial engine, which handles even
+	// the largest catalog circuits uncapped; it is kept as an escape
+	// hatch. A skip is never silent: it emits a "flow"/"omit_skipped"
+	// event and a warning on Warn.
 	OmitLenCap int
+	// Engine selects the compaction trial engine (see compact.Engine);
+	// the zero value is the incremental engine. Results are identical
+	// for every engine.
+	Engine compact.Engine
+	// Order selects the restoration target order (see compact.Order).
+	// Unlike Engine, a non-default order changes the compacted output.
+	Order compact.Order
+	// Warn, when non-nil, receives human-readable warnings (currently:
+	// an omission pass skipped by OmitLenCap). Flows never write
+	// anything else to it.
+	Warn io.Writer
 	// Chains selects the number of scan chains for the generation
 	// flow (0 or 1 = the paper's single chain).
 	Chains int
@@ -190,7 +203,7 @@ func RunGenerate(name string, cfg Config) (GenerateRow, *GenerateArtifacts, erro
 		// passes and the final extra-detection check.
 		s := sim.NewSimulator(cs, cfg.Workers)
 		s.Observe(cfg.Obs)
-		copts := compact.Options{Sim: s, Control: ctl, Obs: cfg.Obs}
+		copts := compact.Options{Sim: s, Control: ctl, Obs: cfg.Obs, Engine: cfg.Engine, Order: cfg.Order}
 		restored, rst := compact.RestoreOpts(cs, gen.Sequence, faults, copts)
 		if rst.Status != runctl.Complete {
 			row.Status = rst.Status
@@ -199,7 +212,7 @@ func RunGenerate(name string, cfg Config) (GenerateRow, *GenerateArtifacts, erro
 			return row, art, rst.Err
 		}
 		omitted, ost := restored, compact.Stats{BeforeLen: len(restored), AfterLen: len(restored)}
-		if !rst.Status.Stopped() && (cfg.OmitLenCap == 0 || len(restored) <= cfg.OmitLenCap) {
+		if !rst.Status.Stopped() && !capSkipsOmit(cfg, name, len(restored)) {
 			omitted, ost = compact.OmitOpts(cs, restored, faults, copts)
 			if ost.Status != runctl.Complete {
 				row.Status = ost.Status
@@ -282,6 +295,24 @@ func checkMeta(ctl *runctl.Control, flow, name string, cfg Config) error {
 		}
 	}
 	return ctl.Save("meta", want)
+}
+
+// capSkipsOmit decides whether OmitLenCap suppresses the omission pass
+// for a restored sequence of restoredLen vectors, and makes any skip
+// visible: a "flow"/"omit_skipped" event (plus the flow.omit_skips
+// counter) for observers and a warning line on cfg.Warn for humans.
+func capSkipsOmit(cfg Config, name string, restoredLen int) bool {
+	if cfg.OmitLenCap == 0 || restoredLen <= cfg.OmitLenCap {
+		return false
+	}
+	obs.C(cfg.Obs, "flow.omit_skips").Inc()
+	obs.Emit(cfg.Obs, "flow", "omit_skipped",
+		obs.F("circuit", name), obs.F("len", restoredLen), obs.F("cap", cfg.OmitLenCap))
+	if cfg.Warn != nil {
+		fmt.Fprintf(cfg.Warn, "warning: %s: omission skipped, restored length %d exceeds omit cap %d (raise or drop -omit-cap; the incremental engine handles uncapped runs)\n",
+			name, restoredLen, cfg.OmitLenCap)
+	}
+	return true
 }
 
 // countScan counts the vectors of seq performing a scan shift.
@@ -370,10 +401,10 @@ func RunTranslate(name string, cfg Config) (TranslateRow, *TranslateArtifacts, e
 	if !cfg.SkipCompaction {
 		s := sim.NewSimulator(sc.Scan, cfg.Workers)
 		s.Observe(cfg.Obs)
-		copts := compact.Options{Sim: s, Obs: cfg.Obs}
+		copts := compact.Options{Sim: s, Obs: cfg.Obs, Engine: cfg.Engine, Order: cfg.Order}
 		restored, _ := compact.RestoreOpts(sc.Scan, seq, scanFaults, copts)
 		omitted := restored
-		if cfg.OmitLenCap == 0 || len(restored) <= cfg.OmitLenCap {
+		if !capSkipsOmit(cfg, name, len(restored)) {
 			omitted, _ = compact.OmitOpts(sc.Scan, restored, scanFaults, copts)
 		}
 		art.Restored, art.Omitted = restored, omitted

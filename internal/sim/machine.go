@@ -254,6 +254,19 @@ func (m *Machine) SaveState() State {
 	return s
 }
 
+// SaveStateInto copies the current flip-flop state into s, reusing its
+// backing arrays when they are already the right size. Use it for
+// snapshot buffers that are overwritten repeatedly (SaveState would
+// allocate fresh planes every time).
+func (m *Machine) SaveStateInto(s *State) {
+	if len(s.sz) != len(m.sz) || len(s.so) != len(m.so) {
+		s.sz = make([]uint64, len(m.sz))
+		s.so = make([]uint64, len(m.so))
+	}
+	copy(s.sz, m.sz)
+	copy(s.so, m.so)
+}
+
 // RestoreState restores a snapshot taken with SaveState.
 func (m *Machine) RestoreState(s State) {
 	copy(m.sz, s.sz)

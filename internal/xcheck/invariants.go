@@ -29,6 +29,7 @@ func Invariants() []Invariant {
 		{"diff/subset", checkDiffSubset},
 		{"diff/reference", checkReference},
 		{"compact/keeps-detections", checkCompactKeepsDetections},
+		{"compact/engines", checkEngineEquivalence},
 		{"compact/pipeline-length", checkPipelineLength},
 		{"resume/identical", checkResumeIdentical},
 		{"seq/padding-monotone", checkPaddingMonotone},
@@ -177,6 +178,102 @@ func checkCompactKeepsDetections(w *Workload) string {
 	return ""
 }
 
+// seqEqual compares two sequences vector by vector.
+func seqEqual(a, b logic.Sequence) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].String() != b[i].String() {
+			return false
+		}
+	}
+	return true
+}
+
+// semantics extracts the Stats fields every engine must agree on.
+// Simulations and BatchSteps are deliberately excluded: they account
+// for the work an engine performed, which is exactly what the engines
+// differ in.
+func semantics(st compact.Stats) [4]int {
+	return [4]int{st.BeforeLen, st.AfterLen, st.TargetFaults, st.ExtraDetected}
+}
+
+// checkEngineEquivalence: the incremental trial engine produces
+// sequences bit-identical to the serial scratch engine — for both
+// compaction passes, at every worker count, in both restoration orders
+// — along with identical semantic stats, and an incremental run
+// interrupted at an arbitrary poll boundary resumes to the same output.
+func checkEngineEquivalence(w *Workload) string {
+	type result struct {
+		seq logic.Sequence
+		st  compact.Stats
+	}
+	run := func(opts compact.Options) (result, result) {
+		r, rst := compact.RestoreOpts(w.Design.Scan, w.Seq, w.Faults, opts)
+		o, ost := compact.OmitOpts(w.Design.Scan, w.Seq, w.Faults, opts)
+		return result{r, rst}, result{o, ost}
+	}
+	for _, order := range []compact.Order{compact.OrderDetection, compact.OrderADI} {
+		refR, refO := run(compact.Options{Workers: 1, Engine: compact.EngineScratch, Order: order})
+		for _, workers := range workerCounts() {
+			gotR, gotO := run(compact.Options{Workers: workers, Engine: compact.EngineIncremental, Order: order})
+			for _, c := range []struct {
+				pass     string
+				ref, got result
+			}{{"restore", refR, gotR}, {"omit", refO, gotO}} {
+				label := fmt.Sprintf("engines/%s order=%s workers=%d", c.pass, order, workers)
+				if !seqEqual(c.ref.seq, c.got.seq) {
+					return fmt.Sprintf("%s: incremental output (%d vectors) differs from scratch (%d vectors)",
+						label, len(c.got.seq), len(c.ref.seq))
+				}
+				if semantics(c.ref.st) != semantics(c.got.st) {
+					return fmt.Sprintf("%s: incremental stats %v differ from scratch %v",
+						label, semantics(c.got.st), semantics(c.ref.st))
+				}
+			}
+		}
+	}
+
+	// Interrupt the incremental engine at a random poll boundary and
+	// resume; the final output must still match the scratch reference.
+	rng := w.rng(9)
+	polls := int64(1 + rng.Intn(60))
+	refR, refO := run(compact.Options{Workers: 1, Engine: compact.EngineScratch})
+	for _, c := range []struct {
+		pass string
+		want logic.Sequence
+		run  func(ctl *runctl.Control) (logic.Sequence, compact.Stats)
+	}{
+		{"restore", refR.seq, func(ctl *runctl.Control) (logic.Sequence, compact.Stats) {
+			return compact.RestoreOpts(w.Design.Scan, w.Seq, w.Faults,
+				compact.Options{Workers: 1, Engine: compact.EngineIncremental, Control: ctl})
+		}},
+		{"omit", refO.seq, func(ctl *runctl.Control) (logic.Sequence, compact.Stats) {
+			return compact.OmitOpts(w.Design.Scan, w.Seq, w.Faults,
+				compact.Options{Workers: 1, Engine: compact.EngineIncremental, Control: ctl})
+		}},
+	} {
+		store := runctl.NewMemStore()
+		_, st := c.run(resumeControl(store, polls))
+		if st.Status == runctl.Complete {
+			continue // finished before the injected stop; nothing to resume
+		}
+		if st.Status != runctl.Canceled {
+			return fmt.Sprintf("engines/resume/%s: interrupted leg status %v, want canceled", c.pass, st.Status)
+		}
+		got, st := c.run(&runctl.Control{Store: store, Resume: true})
+		if st.Status != runctl.Resumed {
+			return fmt.Sprintf("engines/resume/%s: resumed leg status %v", c.pass, st.Status)
+		}
+		if !seqEqual(c.want, got) {
+			return fmt.Sprintf("engines/resume/%s: resumed incremental output (%d vectors) differs from scratch (%d vectors) after stop at poll %d",
+				c.pass, len(got), len(c.want), polls)
+		}
+	}
+	return ""
+}
+
 // checkPipelineLength: the restore→omit pipeline never grows the
 // sequence at either stage, and its final output keeps every detection.
 func checkPipelineLength(w *Workload) string {
@@ -204,18 +301,6 @@ func resumeControl(store runctl.Store, polls int64) *runctl.Control {
 func checkResumeIdentical(w *Workload) string {
 	rng := w.rng(6)
 	polls := int64(1 + rng.Intn(60))
-
-	seqEqual := func(a, b logic.Sequence) bool {
-		if len(a) != len(b) {
-			return false
-		}
-		for i := range a {
-			if a[i].String() != b[i].String() {
-				return false
-			}
-		}
-		return true
-	}
 
 	type pass struct {
 		name string
