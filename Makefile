@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-compact fuzz metrics-check xcheck clean
+.PHONY: build test race vet bench bench-compact fuzz metrics-check xcheck soak clean
 
 build:
 	$(GO) build ./...
@@ -61,6 +61,16 @@ XCHECK_SEEDS ?= 1
 
 xcheck:
 	$(GO) run -race ./cmd/xcheck -circuits all -seeds $(XCHECK_SEEDS) -start-seed 1
+
+# soak runs the crash/resume soak harness (ALGORITHMS.md §14) under
+# the race detector: every iteration kills a flow child at a random
+# checkpoint-store or metrics-append failpoint, resumes it, and asserts
+# the final output is bit-identical to an uninterrupted run. Override
+# with SOAK_ITERS=40 for a CI-sized smoke.
+SOAK_ITERS ?= 200
+
+soak:
+	$(GO) run -race ./cmd/crashsoak -iters $(SOAK_ITERS) -seed 1
 
 clean:
 	rm -f BENCH_sim.json BENCH_compact.json

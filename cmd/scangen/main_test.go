@@ -6,6 +6,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
 	"time"
 
@@ -139,6 +140,64 @@ func TestSigintCheckpointResume(t *testing.T) {
 	}
 	if !bytes.Equal(refData, outData) {
 		t.Fatal("post-SIGINT resume diverged from uninterrupted run")
+	}
+}
+
+// TestSigtermCheckpointResume: SIGTERM (the orchestrator/container
+// stop signal) gets the same drain-and-checkpoint treatment as SIGINT,
+// and the resume matches an uninterrupted run byte for byte.
+func TestSigtermCheckpointResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long run; skipped with -short")
+	}
+	bin := buildScangen(t)
+	dir := t.TempDir()
+	ref := filepath.Join(dir, "ref.txt")
+	out := filepath.Join(dir, "out.txt")
+	ckpt := filepath.Join(dir, "run.ckpt")
+
+	base := []string{"-circuit", "s5378", "-no-baseline", "-seed", "1"}
+	run(t, bin, append(base, "-out", ref)...)
+
+	cmd := exec.Command(bin, append(base, "-out", out, "-checkpoint", ckpt)...)
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = &buf
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(1 * time.Second)
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("terminated run exited non-zero: %v\n%s", err, buf.String())
+	}
+	o := buf.String()
+	if !strings.Contains(o, "run status: canceled") {
+		if strings.Contains(o, "run status: complete") {
+			t.Skip("run finished before the signal; nothing to resume")
+		}
+		t.Fatalf("missing canceled status in output:\n%s", o)
+	}
+	if !strings.Contains(o, "draining in-flight work") {
+		t.Fatalf("missing drain notice after SIGTERM:\n%s", o)
+	}
+
+	o = run(t, bin, append(base, "-out", out, "-checkpoint", ckpt, "-resume")...)
+	if !strings.Contains(o, "run status: resumed") {
+		t.Fatalf("resume did not complete:\n%s", o)
+	}
+	refData, err := os.ReadFile(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outData, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(refData, outData) {
+		t.Fatal("post-SIGTERM resume diverged from uninterrupted run")
 	}
 }
 

@@ -1,10 +1,27 @@
 package compact
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/runctl"
 )
+
+// errCheckpointCorrupt marks checkpoint-content errors that mean the
+// stored state is damaged (truncated masks, out-of-range positions),
+// as opposed to a checkpoint from a different run (vector/fault-count
+// or order mismatches). Corruption is recoverable by redoing the pass;
+// a wrong-run checkpoint means the caller's flags are wrong and must
+// stay a hard failure.
+var errCheckpointCorrupt = errors.New("compact: checkpoint corrupt")
+
+// corruptCheckpointError reports whether err is a corruption-class
+// load failure — from this package's own validation or from the store
+// layer (runctl.CorruptError) — which the compaction passes survive by
+// demoting to the scratch engine and redoing the pass from the start.
+func corruptCheckpointError(err error) bool {
+	return errors.Is(err, errCheckpointCorrupt) || runctl.IsCorrupt(err)
+}
 
 // Checkpoint-store sections owned by the two compaction passes.
 const (
@@ -81,9 +98,9 @@ func unpackMask(s string, bs []bool) error {
 // error; name (optional) says which mask field disagreed.
 func maskLenError(name string, have, want int) error {
 	if name == "" {
-		return fmt.Errorf("compact: checkpoint mask length mismatch (mask %d, want %d)", have, want)
+		return fmt.Errorf("%w: checkpoint mask length mismatch (mask %d, want %d)", errCheckpointCorrupt, have, want)
 	}
-	return fmt.Errorf("compact: checkpoint mask length mismatch: %s mask %d, want %d", name, have, want)
+	return fmt.Errorf("%w: checkpoint mask length mismatch: %s mask %d, want %d", errCheckpointCorrupt, name, have, want)
 }
 
 func loadRestoreCheckpoint(ctl *runctl.Control, inLen, nFaults int, order Order) (st restoreCheckpoint, ok bool, err error) {
@@ -109,7 +126,7 @@ func loadRestoreCheckpoint(ctl *runctl.Control, inLen, nFaults int, order Order)
 		return st, false, maskLenError("restore covered", len(st.Covered), nFaults)
 	}
 	if st.Pos < 0 {
-		return st, false, fmt.Errorf("compact: restore checkpoint malformed (pos %d)", st.Pos)
+		return st, false, fmt.Errorf("%w: restore checkpoint malformed (pos %d)", errCheckpointCorrupt, st.Pos)
 	}
 	return st, true, nil
 }
@@ -146,8 +163,8 @@ func loadOmitCheckpoint(ctl *runctl.Control, inLen, nFaults int) (st omitCheckpo
 		return st, false, maskLenError("omit kept", len(st.Kept), inLen)
 	}
 	if len(st.DetAt) != nFaults {
-		return st, false, fmt.Errorf("compact: checkpoint mask length mismatch: omit det_at %d, want %d",
-			len(st.DetAt), nFaults)
+		return st, false, fmt.Errorf("%w: checkpoint mask length mismatch: omit det_at %d, want %d",
+			errCheckpointCorrupt, len(st.DetAt), nFaults)
 	}
 	curLen := 0
 	for i := 0; i < len(st.Kept); i++ {
@@ -156,7 +173,7 @@ func loadOmitCheckpoint(ctl *runctl.Control, inLen, nFaults int) (st omitCheckpo
 		}
 	}
 	if st.NextT < 0 || st.NextT > curLen {
-		return st, false, fmt.Errorf("compact: omit checkpoint position %d outside working sequence of %d", st.NextT, curLen)
+		return st, false, fmt.Errorf("%w: omit checkpoint position %d outside working sequence of %d", errCheckpointCorrupt, st.NextT, curLen)
 	}
 	return st, true, nil
 }

@@ -259,17 +259,33 @@ func RestoreOpts(c *netlist.Circuit, seq logic.Sequence, faults []fault.Fault, o
 				err = unpackMask(ck.Covered, covered)
 			}
 		}
-		if err != nil {
+		switch {
+		case err == nil:
+			if ok {
+				resumed = true
+				startPos = ck.Pos
+				if ck.Done {
+					startPos = len(order)
+				}
+			}
+		case corruptCheckpointError(err):
+			// The stored state is damaged, not from a different run:
+			// demote to the scratch engine and redo the pass from the
+			// start. Engines are bit-identical, so the output is the
+			// one the undamaged run would have produced.
+			obs.C(ob, "restore.ckpt_degraded").Inc()
+			obs.Emit(ob, "restore", "checkpoint_degraded", obs.F("error", err.Error()))
+			opts.Engine = EngineScratch
+			for i := range kept {
+				kept[i] = false
+			}
+			for i := range covered {
+				covered[i] = false
+			}
+		default:
 			ctl.Fail()
 			st.Status, st.Err = runctl.Failed, err
 			return nil, st
-		}
-		if ok {
-			resumed = true
-			startPos = ck.Pos
-			if ck.Done {
-				startPos = len(order)
-			}
 		}
 	}
 	st.Status = runctl.Final(resumed)
@@ -401,7 +417,7 @@ func RestoreOpts(c *netlist.Circuit, seq logic.Sequence, faults []fault.Fault, o
 // errRestorePos builds the out-of-range error for a restore checkpoint
 // whose position exceeds the recomputed restoration order.
 func errRestorePos(pos, n int) error {
-	return fmt.Errorf("compact: restore checkpoint position %d outside order of %d", pos, n)
+	return fmt.Errorf("%w: restore checkpoint position %d outside order of %d", errCheckpointCorrupt, pos, n)
 }
 
 // restorationOrder lists the detected faults in the order restoration
@@ -490,19 +506,27 @@ func OmitOpts(c *netlist.Circuit, seq logic.Sequence, faults []fault.Fault, opts
 	resumed := false
 	if ctl.Resuming() {
 		ck, ok, err := loadOmitCheckpoint(ctl, len(seq), len(faults))
-		if err != nil {
+		switch {
+		case err == nil:
+			if ok {
+				resumed = true
+				o.restoreFrom(ck.Kept, ck.DetAt)
+				startT = ck.NextT
+				if ck.Done {
+					startT = 0
+				}
+			}
+		case corruptCheckpointError(err):
+			// Damaged checkpoint: demote to the scratch engine and redo
+			// the whole pass (see the restore path above).
+			obs.C(ob, "omit.ckpt_degraded").Inc()
+			obs.Emit(ob, "omit", "checkpoint_degraded", obs.F("error", err.Error()))
+			o.parallel = false
+		default:
 			ctl.Fail()
 			st.Status, st.Err = runctl.Failed, err
 			st.AfterLen = len(o.cur)
 			return o.cur, st
-		}
-		if ok {
-			resumed = true
-			o.restoreFrom(ck.Kept, ck.DetAt)
-			startT = ck.NextT
-			if ck.Done {
-				startT = 0
-			}
 		}
 	}
 	st.Status = runctl.Final(resumed)

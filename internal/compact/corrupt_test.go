@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/obs"
 	"repro/internal/runctl"
 	"repro/internal/sim"
 )
@@ -23,11 +24,36 @@ func interruptedRestoreStore(t *testing.T, path string) *runctl.FileStore {
 	return store
 }
 
-// TestRestoreCorruptedCheckpointMaskFailsLoad: a truncated (hand-edited)
-// kept mask must fail the resume with a "checkpoint mask length
-// mismatch" error instead of panicking inside unpackMask.
-func TestRestoreCorruptedCheckpointMaskFailsLoad(t *testing.T) {
+// degradedRestore resumes a restoration against the store and asserts
+// the corruption-degradation contract: the run completes (no Failed
+// status, no error), the output matches the uninterrupted pass, and
+// the degradation is observable (counter + event).
+func degradedRestore(t *testing.T, store runctl.Store) {
+	t.Helper()
 	sc, faults, seq := fixture(t)
+	want, wantSt := RestoreOpts(sc.Scan, seq, faults, Options{})
+	rec := obs.NewRecorder(nil, obs.RecorderOptions{})
+	ctl := &runctl.Control{Store: store, Resume: true}
+	out, st := RestoreOpts(sc.Scan, seq, faults, Options{Control: ctl, Obs: rec})
+	if st.Status != runctl.Complete || st.Err != nil {
+		t.Fatalf("degraded resume: status %v err %v, want complete/nil", st.Status, st.Err)
+	}
+	if out.String() != want.String() {
+		t.Fatalf("degraded output %d vectors differs from uninterrupted %d", len(out), len(want))
+	}
+	if st.AfterLen != wantSt.AfterLen {
+		t.Fatalf("degraded AfterLen %d, want %d", st.AfterLen, wantSt.AfterLen)
+	}
+	if n := rec.Snapshot().Counters["restore.ckpt_degraded"]; n != 1 {
+		t.Fatalf("restore.ckpt_degraded = %d, want 1", n)
+	}
+}
+
+// TestRestoreCorruptedCheckpointMaskDegrades: a truncated (hand-edited)
+// kept mask must not panic inside unpackMask and must not fail the run:
+// corruption demotes to the scratch engine and redoes the pass, with
+// output identical to an uninterrupted run.
+func TestRestoreCorruptedCheckpointMaskDegrades(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "ckpt.json")
 	store := interruptedRestoreStore(t, path)
 
@@ -41,20 +67,11 @@ func TestRestoreCorruptedCheckpointMaskFailsLoad(t *testing.T) {
 	if err := store.Save(restoreSection, ck); err != nil {
 		t.Fatal(err)
 	}
-
-	ctl := &runctl.Control{Store: runctl.NewFileStore(path), Resume: true}
-	out, st := RestoreOpts(sc.Scan, seq, faults, Options{Control: ctl})
-	if st.Status != runctl.Failed || st.Err == nil {
-		t.Fatalf("corrupted resume accepted: status %v err %v (out %d vectors)", st.Status, st.Err, len(out))
-	}
-	if !strings.Contains(st.Err.Error(), "checkpoint mask length mismatch") {
-		t.Fatalf("error %q does not name the mask length mismatch", st.Err)
-	}
+	degradedRestore(t, runctl.NewFileStore(path))
 }
 
-// TestRestoreCorruptedCoveredMaskFailsLoad: same for the covered mask.
-func TestRestoreCorruptedCoveredMaskFailsLoad(t *testing.T) {
-	sc, faults, seq := fixture(t)
+// TestRestoreCorruptedCoveredMaskDegrades: same for the covered mask.
+func TestRestoreCorruptedCoveredMaskDegrades(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "ckpt.json")
 	store := interruptedRestoreStore(t, path)
 
@@ -66,20 +83,34 @@ func TestRestoreCorruptedCoveredMaskFailsLoad(t *testing.T) {
 	if err := store.Save(restoreSection, ck); err != nil {
 		t.Fatal(err)
 	}
+	degradedRestore(t, runctl.NewFileStore(path))
+}
+
+// TestRestoreWrongRunCheckpointStillFails: a checkpoint from a
+// different run (here: a different target order) is NOT corruption and
+// must stay a hard failure — degrading would silently compute an
+// answer the caller's flags did not ask for.
+func TestRestoreWrongRunCheckpointStillFails(t *testing.T) {
+	sc, faults, seq := fixture(t)
+	path := filepath.Join(t.TempDir(), "ckpt.json")
+	interruptedRestoreStore(t, path) // written with OrderDetection
 
 	ctl := &runctl.Control{Store: runctl.NewFileStore(path), Resume: true}
-	_, st := RestoreOpts(sc.Scan, seq, faults, Options{Control: ctl})
-	if st.Status != runctl.Failed || st.Err == nil ||
-		!strings.Contains(st.Err.Error(), "checkpoint mask length mismatch") {
-		t.Fatalf("corrupted resume: status %v err %v", st.Status, st.Err)
+	_, st := RestoreOpts(sc.Scan, seq, faults, Options{Control: ctl, Order: OrderADI})
+	if st.Status != runctl.Failed || st.Err == nil {
+		t.Fatalf("wrong-order resume: status %v err %v, want failed", st.Status, st.Err)
+	}
+	if !strings.Contains(st.Err.Error(), "order") {
+		t.Fatalf("error %q does not name the order mismatch", st.Err)
 	}
 }
 
-// TestOmitCorruptedCheckpointMaskFailsLoad: the omission pass has the
-// same obligation for its kept mask and det_at array.
-func TestOmitCorruptedCheckpointMaskFailsLoad(t *testing.T) {
+// TestOmitCorruptedCheckpointMaskDegrades: the omission pass has the
+// same degradation obligation for its kept mask and det_at array.
+func TestOmitCorruptedCheckpointMaskDegrades(t *testing.T) {
 	sc, faults, seq := fixture(t)
 	in := padded(sc, seq)
+	want, _ := OmitOpts(sc.Scan, in, faults, Options{})
 	store := runctl.NewMemStore()
 	ctl := &runctl.Control{Budget: runctl.Budget{MaxTrials: 1}, Store: store}
 	_, st := OmitOpts(sc.Scan, in, faults, Options{Control: ctl})
@@ -92,25 +123,49 @@ func TestOmitCorruptedCheckpointMaskFailsLoad(t *testing.T) {
 		t.Fatalf("load checkpoint: %v %v", ok, err)
 	}
 	keptBackup := ck.Kept
+	resumeDegraded := func(label string) {
+		t.Helper()
+		rec := obs.NewRecorder(nil, obs.RecorderOptions{})
+		out, st := OmitOpts(sc.Scan, in, faults, Options{Control: &runctl.Control{Store: store, Resume: true}, Obs: rec})
+		if st.Status != runctl.Complete || st.Err != nil {
+			t.Fatalf("%s: status %v err %v, want degraded completion", label, st.Status, st.Err)
+		}
+		if out.String() != want.String() {
+			t.Fatalf("%s: degraded output differs from uninterrupted run", label)
+		}
+		if n := rec.Snapshot().Counters["omit.ckpt_degraded"]; n != 1 {
+			t.Fatalf("%s: omit.ckpt_degraded = %d, want 1", label, n)
+		}
+	}
+
 	ck.Kept = ck.Kept[:len(ck.Kept)-1]
 	if err := store.Save(omitSection, ck); err != nil {
 		t.Fatal(err)
 	}
-	_, st = OmitOpts(sc.Scan, in, faults, Options{Control: &runctl.Control{Store: store, Resume: true}})
-	if st.Status != runctl.Failed || st.Err == nil ||
-		!strings.Contains(st.Err.Error(), "checkpoint mask length mismatch") {
-		t.Fatalf("truncated kept accepted: status %v err %v", st.Status, st.Err)
-	}
+	resumeDegraded("truncated kept")
 
 	ck.Kept = keptBackup
 	ck.DetAt = ck.DetAt[:len(ck.DetAt)-1]
 	if err := store.Save(omitSection, ck); err != nil {
 		t.Fatal(err)
 	}
-	_, st = OmitOpts(sc.Scan, in, faults, Options{Control: &runctl.Control{Store: store, Resume: true}})
-	if st.Status != runctl.Failed || st.Err == nil ||
-		!strings.Contains(st.Err.Error(), "checkpoint mask length mismatch") {
-		t.Fatalf("truncated det_at accepted: status %v err %v", st.Status, st.Err)
+	resumeDegraded("truncated det_at")
+}
+
+// TestOmitWrongRunCheckpointStillFails: vector/fault-count mismatches
+// mean the checkpoint belongs to a different run and must stay fatal.
+func TestOmitWrongRunCheckpointStillFails(t *testing.T) {
+	sc, faults, seq := fixture(t)
+	in := padded(sc, seq)
+	store := runctl.NewMemStore()
+	ctl := &runctl.Control{Budget: runctl.Budget{MaxTrials: 1}, Store: store}
+	if _, st := OmitOpts(sc.Scan, in, faults, Options{Control: ctl}); st.Status != runctl.BudgetExhausted {
+		t.Fatalf("seed run status %v", st.Status)
+	}
+	short := in[:len(in)-1]
+	_, st := OmitOpts(sc.Scan, short, faults, Options{Control: &runctl.Control{Store: store, Resume: true}})
+	if st.Status != runctl.Failed || st.Err == nil {
+		t.Fatalf("wrong-length resume: status %v err %v, want failed", st.Status, st.Err)
 	}
 }
 

@@ -1,0 +1,372 @@
+// Package failpoint is a deterministic fault-injection registry for
+// crash and error-path testing. Code under test declares named sites
+// (`failpoint.Inject("runctl.store.rename")`); a test or operator arms
+// a subset of them with a spec string, choosing an action (return an
+// error, panic, kill the process, delay, or tear a write) and a
+// trigger (every hit, the N-th hit, or a seeded probability per hit).
+//
+// The registry is built for two properties:
+//
+//   - Zero overhead when disabled. The armed registry lives behind one
+//     atomic pointer; with nothing armed every site costs a single nil
+//     load, so production binaries pay nothing for carrying the sites.
+//
+//   - Determinism. Probability triggers are a pure function of
+//     (seed, site name, hit index), so a failing schedule replays
+//     exactly from the same spec and seed — no global RNG, no races
+//     between sites.
+//
+// Spec grammar (terms joined by ';'):
+//
+//	site=action[:arg][@hit][%prob][#limit]
+//	seed=N
+//
+// Actions: error | panic | kill | delay:DURATION | partial[:FRACTION].
+// `@hit` fires on exactly the N-th hit (1-based) and implies a limit of
+// one unless `#limit` says otherwise; `%prob` fires each hit with the
+// given probability; with neither, every hit fires. `#limit` caps the
+// total number of fires. Example:
+//
+//	runctl.store.rename=kill@3;obs.recorder.append=partial:0.5%0.01#2
+//
+// Arming happens through Enable (tests, flags) or the
+// SCANATPG_FAILPOINTS environment variable (child processes of the
+// crash-soak harness), with SCANATPG_FAILPOINT_SEED overriding the
+// seed.
+package failpoint
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// EnvSpec and EnvSeed are the environment variables read at process
+// start; a non-empty EnvSpec arms the registry before main runs.
+const (
+	EnvSpec = "SCANATPG_FAILPOINTS"
+	EnvSeed = "SCANATPG_FAILPOINT_SEED"
+)
+
+// KillExitCode is the exit status of the kill action. It mirrors the
+// shell convention for SIGKILL (128+9) so harnesses can tell an
+// injected crash from an ordinary failure.
+const KillExitCode = 137
+
+// Error is the error returned (or panicked) by a fired site.
+type Error struct {
+	Site string
+	Hit  uint64 // 1-based hit index at which the site fired
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("failpoint: injected failure at %s (hit %d)", e.Site, e.Hit)
+}
+
+// IsInjected reports whether err wraps an injected failpoint Error.
+func IsInjected(err error) bool {
+	var fe *Error
+	return errors.As(err, &fe)
+}
+
+type action uint8
+
+const (
+	actError action = iota
+	actPanic
+	actKill
+	actDelay
+	actPartial
+)
+
+func (a action) String() string {
+	switch a {
+	case actError:
+		return "error"
+	case actPanic:
+		return "panic"
+	case actKill:
+		return "kill"
+	case actDelay:
+		return "delay"
+	case actPartial:
+		return "partial"
+	}
+	return "?"
+}
+
+type site struct {
+	name  string
+	act   action
+	prob  float64       // probability per hit; <0 = not probability-triggered
+	at    uint64        // fire on exactly this hit (1-based); 0 = any hit
+	limit int64         // max fires; <0 = unlimited
+	delay time.Duration // delay action
+	frac  float64       // partial action: fraction of the write to let through
+
+	hits  atomic.Uint64
+	fires atomic.Int64
+}
+
+type registry struct {
+	seed  uint64
+	sites map[string]*site
+}
+
+// active is the armed registry; nil means disabled. Sites load it once
+// per hit, so disabling is safe at any time (in-flight hits finish
+// against the old registry).
+var active atomic.Pointer[registry]
+
+// exitFn is swapped out by tests of the kill action.
+var exitFn = os.Exit
+
+func init() {
+	spec := os.Getenv(EnvSpec)
+	if spec == "" {
+		return
+	}
+	seed := uint64(1)
+	if s := os.Getenv(EnvSeed); s != "" {
+		n, err := strconv.ParseUint(s, 10, 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "failpoint: bad %s=%q: %v\n", EnvSeed, s, err)
+			exitFn(2)
+		}
+		seed = n
+	}
+	if err := Enable(spec, seed); err != nil {
+		fmt.Fprintf(os.Stderr, "failpoint: bad %s: %v\n", EnvSpec, err)
+		exitFn(2)
+	}
+}
+
+// Enabled reports whether any sites are armed.
+func Enabled() bool { return active.Load() != nil }
+
+// Enable parses spec and arms the registry, replacing any previous
+// arming. Hit and fire counters start from zero.
+func Enable(spec string, seed uint64) error {
+	r := &registry{seed: seed, sites: make(map[string]*site)}
+	for _, term := range strings.Split(spec, ";") {
+		term = strings.TrimSpace(term)
+		if term == "" {
+			continue
+		}
+		name, value, ok := strings.Cut(term, "=")
+		if !ok {
+			return fmt.Errorf("failpoint: term %q is not site=action", term)
+		}
+		name = strings.TrimSpace(name)
+		if name == "seed" {
+			n, err := strconv.ParseUint(strings.TrimSpace(value), 10, 64)
+			if err != nil {
+				return fmt.Errorf("failpoint: bad seed %q: %v", value, err)
+			}
+			r.seed = n
+			continue
+		}
+		s, err := parseSite(name, strings.TrimSpace(value))
+		if err != nil {
+			return err
+		}
+		r.sites[name] = s
+	}
+	if len(r.sites) == 0 {
+		return fmt.Errorf("failpoint: spec %q arms no sites", spec)
+	}
+	active.Store(r)
+	return nil
+}
+
+// Disable disarms all sites.
+func Disable() { active.Store(nil) }
+
+// parseSite parses "action[:arg][@hit][%prob][#limit]".
+func parseSite(name, value string) (*site, error) {
+	s := &site{name: name, prob: -1, limit: -1, frac: 0.5}
+	// Strip trailing modifiers; they may appear in any order.
+	for {
+		i := strings.LastIndexAny(value, "@%#")
+		if i < 0 {
+			break
+		}
+		mod, arg := value[i], value[i+1:]
+		value = value[:i]
+		switch mod {
+		case '@':
+			n, err := strconv.ParseUint(arg, 10, 64)
+			if err != nil || n == 0 {
+				return nil, fmt.Errorf("failpoint: %s: bad @hit %q", name, arg)
+			}
+			s.at = n
+		case '%':
+			p, err := strconv.ParseFloat(arg, 64)
+			if err != nil || p < 0 || p > 1 {
+				return nil, fmt.Errorf("failpoint: %s: bad %%prob %q", name, arg)
+			}
+			s.prob = p
+		case '#':
+			n, err := strconv.ParseInt(arg, 10, 64)
+			if err != nil || n <= 0 {
+				return nil, fmt.Errorf("failpoint: %s: bad #limit %q", name, arg)
+			}
+			s.limit = n
+		}
+	}
+	if s.at != 0 && s.limit < 0 {
+		s.limit = 1 // @hit means "that one hit" unless a limit widens it
+	}
+	act, arg, _ := strings.Cut(value, ":")
+	switch act {
+	case "error":
+		s.act = actError
+	case "panic":
+		s.act = actPanic
+	case "kill":
+		s.act = actKill
+	case "delay":
+		s.act = actDelay
+		d, err := time.ParseDuration(arg)
+		if err != nil {
+			return nil, fmt.Errorf("failpoint: %s: bad delay %q", name, arg)
+		}
+		s.delay = d
+	case "partial":
+		s.act = actPartial
+		if arg != "" {
+			f, err := strconv.ParseFloat(arg, 64)
+			if err != nil || f < 0 || f >= 1 {
+				return nil, fmt.Errorf("failpoint: %s: bad partial fraction %q", name, arg)
+			}
+			s.frac = f
+		}
+	default:
+		return nil, fmt.Errorf("failpoint: %s: unknown action %q", name, act)
+	}
+	return s, nil
+}
+
+// Hits returns how many times the named site has been evaluated since
+// Enable (0 when disabled or unknown). For tests and harness reporting.
+func Hits(name string) uint64 {
+	r := active.Load()
+	if r == nil {
+		return 0
+	}
+	if s, ok := r.sites[name]; ok {
+		return s.hits.Load()
+	}
+	return 0
+}
+
+// Fired returns how many times the named site has fired since Enable.
+func Fired(name string) int64 {
+	r := active.Load()
+	if r == nil {
+		return 0
+	}
+	if s, ok := r.sites[name]; ok {
+		return s.fires.Load()
+	}
+	return 0
+}
+
+// trigger decides whether hit n (1-based) fires, and performs the
+// non-returning actions. It returns the injected error for the error
+// and partial actions (the caller of a partial site tears the write).
+func (s *site) trigger(seed uint64, n uint64) error {
+	if s.at != 0 && n != s.at {
+		return nil
+	}
+	if s.prob >= 0 && !decide(seed, s.name, n, s.prob) {
+		return nil
+	}
+	if s.limit >= 0 {
+		// Reserve a fire slot; back out when over the cap.
+		if s.fires.Add(1) > s.limit {
+			s.fires.Add(-1)
+			return nil
+		}
+	} else {
+		s.fires.Add(1)
+	}
+	switch s.act {
+	case actDelay:
+		time.Sleep(s.delay)
+		return nil
+	case actPanic:
+		panic(&Error{Site: s.name, Hit: n})
+	case actKill:
+		exitFn(KillExitCode)
+		return nil // unreachable with the real exitFn
+	default: // actError, actPartial
+		return &Error{Site: s.name, Hit: n}
+	}
+}
+
+// decide is the pure probability trigger: splitmix64 over
+// seed ⊕ hash(site) ⊕ hit compared against p.
+func decide(seed uint64, name string, n uint64, p float64) bool {
+	h := fnv.New64a()
+	io.WriteString(h, name)
+	x := seed ^ h.Sum64() ^ (n * 0x9e3779b97f4a7c15)
+	// splitmix64 finalizer
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(x>>11)/(1<<53) < p
+}
+
+// Inject evaluates the named site. With the registry disabled or the
+// site not armed it returns nil after a single atomic load. A fired
+// error or partial site returns *Error; a fired panic site panics with
+// *Error; a fired kill site exits the process with KillExitCode; a
+// fired delay site sleeps and returns nil.
+func Inject(name string) error {
+	r := active.Load()
+	if r == nil {
+		return nil
+	}
+	s, ok := r.sites[name]
+	if !ok {
+		return nil
+	}
+	return s.trigger(r.seed, s.hits.Add(1))
+}
+
+// InjectWrite performs w.Write(p) with the named site interposed. A
+// fired partial site writes only a prefix of p (the site's fraction,
+// rounded down) and returns the injected error — a torn write. Other
+// fired actions behave as in Inject, before any bytes are written.
+// When disabled this is a single atomic load plus the write.
+func InjectWrite(name string, w io.Writer, p []byte) (int, error) {
+	r := active.Load()
+	if r == nil {
+		return w.Write(p)
+	}
+	s, ok := r.sites[name]
+	if !ok {
+		return w.Write(p)
+	}
+	err := s.trigger(r.seed, s.hits.Add(1))
+	if err == nil {
+		return w.Write(p)
+	}
+	if s.act == actPartial {
+		n, werr := w.Write(p[:int(float64(len(p))*s.frac)])
+		if werr != nil {
+			return n, werr
+		}
+		return n, err
+	}
+	return 0, err
+}

@@ -45,9 +45,19 @@ func (c *CLI) Build(resume bool) (*Runtime, error) {
 	}
 	rt := &Runtime{}
 	var err error
+	var repaired int64
 	if c.Metrics != "" {
 		mode := os.O_CREATE | os.O_WRONLY | os.O_TRUNC
 		if resume {
+			// A crash mid-append can leave a torn final line; drop it
+			// before appending so the stream stays valid JSONL.
+			repaired, err = RepairTail(c.Metrics)
+			if err != nil {
+				return nil, fmt.Errorf("%s: -metrics: %w", c.Program, err)
+			}
+			if repaired > 0 {
+				fmt.Fprintf(os.Stderr, "%s: -metrics: dropped a torn final line (%d bytes) before appending\n", c.Program, repaired)
+			}
 			mode = os.O_CREATE | os.O_WRONLY | os.O_APPEND
 		}
 		rt.file, err = os.OpenFile(c.Metrics, mode, 0o644)
@@ -60,6 +70,9 @@ func (c *CLI) Build(resume bool) (*Runtime, error) {
 		rt.rec = NewRecorder(rt.file, ropts)
 	} else {
 		rt.rec = NewRecorder(nil, ropts)
+	}
+	if repaired > 0 {
+		rt.rec.Event("obs", "tail_repaired", F("bytes", repaired))
 	}
 	if c.DebugAddr != "" {
 		rt.srv, err = Serve(c.DebugAddr, rt.rec)

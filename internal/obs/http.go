@@ -48,7 +48,13 @@ func Serve(addr string, src Snapshotter) (*Server, error) {
 			}
 		}
 	})
-	s := &Server{ln: ln, srv: &http.Server{Handler: mux}}
+	// Timeouts keep a stalled or malicious client (slow-loris) from
+	// pinning connections on a long-lived run's debug port.
+	s := &Server{ln: ln, srv: &http.Server{
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+		WriteTimeout:      30 * time.Second,
+	}}
 	go s.srv.Serve(ln)
 	return s, nil
 }

@@ -7,7 +7,13 @@ import (
 	"io"
 	"sync"
 	"time"
+
+	"repro/internal/failpoint"
 )
+
+// fpRecorderAppend is the fault-injection site on the recorder's
+// append path (armed only under internal/failpoint).
+const fpRecorderAppend = "obs.recorder.append"
 
 // Line is one JSONL flight-recorder record. Exactly one of the
 // type-specific field groups is populated depending on Type:
@@ -108,7 +114,7 @@ func (r *Recorder) writeLine(ln *Line) {
 		return
 	}
 	b = append(b, '\n')
-	if _, err := r.w.Write(b); err != nil {
+	if _, err := failpoint.InjectWrite(fpRecorderAppend, r.w, b); err != nil {
 		r.err = fmt.Errorf("obs: write: %w", err)
 	}
 }

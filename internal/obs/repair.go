@@ -1,0 +1,50 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+)
+
+// RepairTail truncates a torn final line of a JSONL flight-recorder
+// file in place, returning how many bytes were dropped. A tail is torn
+// when the file does not end with a newline (a crash mid-append or a
+// partially flushed buffer), or when its final newline-terminated line
+// is not valid JSON (a tear that happened to land after an earlier
+// record's newline). Complete files — including empty and missing ones
+// — are left untouched. The CLI layer runs this before opening a
+// metrics file for a resume-leg append, so one crash cannot poison the
+// whole stream.
+func RepairTail(path string) (int64, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("obs: repair %s: %w", path, err)
+	}
+	keep := len(data)
+	// Drop an unterminated tail, then any final terminated line that is
+	// not a JSON record (at most one tear can exist, but a tear can
+	// shear both the unterminated bytes and the line they belong to).
+	if keep > 0 && data[keep-1] != '\n' {
+		nl := bytes.LastIndexByte(data[:keep], '\n')
+		keep = nl + 1 // -1+1 = 0: the whole file was one torn line
+	}
+	if keep > 0 {
+		lineStart := bytes.LastIndexByte(data[:keep-1], '\n') + 1
+		if !json.Valid(data[lineStart : keep-1]) {
+			keep = lineStart
+		}
+	}
+	if keep == len(data) {
+		return 0, nil
+	}
+	if err := os.Truncate(path, int64(keep)); err != nil {
+		return 0, fmt.Errorf("obs: repair %s: %w", path, err)
+	}
+	return int64(len(data) - keep), nil
+}

@@ -1,7 +1,7 @@
 package obs
 
 import (
-	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -31,22 +31,39 @@ type ValidateStats struct {
 //     all be empty — an instrument-free run still closes validly);
 //   - the final line is a snapshot.
 //
+// A final line that is torn — unterminated, or not a parseable record
+// at the very end of the stream — is reported distinctly as a torn
+// tail (the signature of a crash mid-append; RepairTail removes it).
+//
 // The first violation is returned with its 1-based line number.
 func Validate(r io.Reader) (ValidateStats, error) {
 	var st ValidateStats
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return st, err
+	}
+	torn := len(data) > 0 && data[len(data)-1] != '\n'
+	var lines [][]byte
+	if len(data) > 0 {
+		lines = bytes.Split(bytes.TrimSuffix(data, []byte("\n")), []byte("\n"))
+	}
 	lineNo := 0
 	nextSeq := int64(-1) // -1: expecting the first run header
 	lastType := ""
-	for sc.Scan() {
+	for i, raw := range lines {
 		lineNo++
-		raw := sc.Bytes()
+		last := i == len(lines)-1
+		if last && torn {
+			return st, fmt.Errorf("line %d: torn final line (unterminated partial record — crash mid-append? RepairTail fixes this)", lineNo)
+		}
 		if len(raw) == 0 {
 			return st, fmt.Errorf("line %d: empty line", lineNo)
 		}
 		var ln Line
 		if err := json.Unmarshal(raw, &ln); err != nil {
+			if last {
+				return st, fmt.Errorf("line %d: torn final line (not a JSON record: %v — crash mid-append? RepairTail fixes this)", lineNo, err)
+			}
 			return st, fmt.Errorf("line %d: not a JSON record: %v", lineNo, err)
 		}
 		if _, err := time.Parse(time.RFC3339Nano, ln.T); err != nil {
@@ -93,9 +110,6 @@ func Validate(r io.Reader) (ValidateStats, error) {
 			return st, fmt.Errorf("line %d: unknown record type %q", lineNo, ln.Type)
 		}
 		lastType = ln.Type
-	}
-	if err := sc.Err(); err != nil {
-		return st, err
 	}
 	if lineNo == 0 {
 		return st, fmt.Errorf("empty stream")

@@ -6,7 +6,10 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"syscall"
 	"time"
+
+	"repro/internal/failpoint"
 )
 
 // CLI bundles the run-control command-line parameters the tools share:
@@ -18,6 +21,9 @@ type CLI struct {
 	MaxAttempts int64
 	MaxTrials   int64
 	SaveEvery   int
+	// Failpoints arms internal/failpoint fault-injection sites
+	// (testing only; empty = disabled, zero overhead).
+	Failpoints string
 	// Program names the tool in interrupt messages.
 	Program string
 }
@@ -32,16 +38,22 @@ func RegisterFlags(program string) *CLI {
 	flag.Int64Var(&c.MaxAttempts, "max-attempts", 0, "cap on per-fault generation attempts (0 = unlimited)")
 	flag.Int64Var(&c.MaxTrials, "max-trials", 0, "cap on compaction trials (0 = unlimited)")
 	flag.IntVar(&c.SaveEvery, "checkpoint-every", 8, "write the periodic checkpoint every n-th work boundary")
+	flag.StringVar(&c.Failpoints, "failpoints", "", "arm fault-injection sites for failure testing, e.g. 'runctl.store.rename=kill@3' (see internal/failpoint)")
 	return c
 }
 
 // Build validates the parameters and constructs the Control, or returns
 // (nil, nil) when no run control was requested. When a Control is
-// built, SIGINT is hooked: the first interrupt cancels the budget
-// context, so engines drain in-flight work, write their checkpoint and
-// return partial results (the command then exits 0 with a partial
-// report); a second interrupt exits immediately with status 130.
+// built, SIGINT and SIGTERM are hooked: the first signal cancels the
+// budget context, so engines drain in-flight work, write their
+// checkpoint and return partial results (the command then exits 0 with
+// a partial report); a second signal exits immediately with status 130.
 func (c *CLI) Build() (*Control, error) {
+	if c.Failpoints != "" {
+		if err := failpoint.Enable(c.Failpoints, 1); err != nil {
+			return nil, err
+		}
+	}
 	if c.Resume && c.Checkpoint == "" {
 		return nil, fmt.Errorf("-resume requires -checkpoint FILE")
 	}
@@ -60,13 +72,17 @@ func (c *CLI) Build() (*Control, error) {
 		SaveEvery: c.SaveEvery,
 	}
 	if c.Checkpoint != "" {
-		ctl.Store = NewFileStore(c.Checkpoint)
+		fs := NewFileStore(c.Checkpoint)
+		fs.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, c.Program+": "+format+"\n", args...)
+		}
+		ctl.Store = fs
 	}
 	sig := make(chan os.Signal, 2)
-	signal.Notify(sig, os.Interrupt)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	go func() {
-		<-sig
-		fmt.Fprintf(os.Stderr, "%s: interrupt — draining in-flight work and writing checkpoint (interrupt again to quit now)\n", c.Program)
+		s := <-sig
+		fmt.Fprintf(os.Stderr, "%s: %v — draining in-flight work and writing checkpoint (signal again to quit now)\n", c.Program, s)
 		cancel()
 		<-sig
 		os.Exit(130)

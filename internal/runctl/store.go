@@ -8,6 +8,9 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
+
+	"repro/internal/failpoint"
 )
 
 // Store persists named checkpoint sections. One store backs a whole
@@ -25,25 +28,59 @@ type Store interface {
 	Clear() error
 }
 
-// envelope is the on-disk checkpoint file layout.
-type envelope struct {
-	Format   string                     `json:"format"`
-	Sections map[string]json.RawMessage `json:"sections"`
-}
+// Defaults for FileStore's bounded retry of transient I/O errors.
+const (
+	defaultRetries = 2
+	defaultBackoff = 2 * time.Millisecond
+)
 
-// FileFormat identifies the checkpoint file envelope.
-const FileFormat = "scanatpg-checkpoint/v1"
+// Failpoint sites on the FileStore I/O path (armed only under
+// internal/failpoint; production cost is one atomic nil load each).
+const (
+	fpStoreRead    = "runctl.store.read"
+	fpStoreWrite   = "runctl.store.write"
+	fpStoreSync    = "runctl.store.sync"
+	fpStoreRotate  = "runctl.store.rotate"
+	fpStoreRename  = "runctl.store.rename"
+	fpStoreDirSync = "runctl.store.dirsync"
+)
 
-// FileStore is a Store backed by one JSON file. Every Save rewrites the
-// file through a temp-file-plus-rename in the same directory, so a
-// crash (or SIGKILL) mid-write can never leave a torn checkpoint: the
-// file always holds either the previous or the new complete state.
+// FileStore is a Store backed by one framed, checksummed file (see
+// envelope.go). Every Save rewrites the file through a fsynced
+// temp-file-plus-rename in the same directory followed by a directory
+// fsync, so a crash — or a power loss — can never leave a torn
+// checkpoint: the file always holds either the previous or the new
+// complete state, and the rename is durable.
+//
+// Saves keep one previous generation: before publishing, the current
+// file is rotated to path+".1". If the primary is later found corrupt
+// (or missing — a crash can land between rotate and publish), loading
+// rolls back to the last valid generation automatically; the corrupt
+// primary is preserved as path+".corrupt" for post-mortem on the next
+// Save. Only when every generation is unreadable does Load surface a
+// *CorruptError — and even then a subsequent Save quarantines the bad
+// file and starts a fresh store rather than wedging the run forever.
+//
+// Transient I/O errors (as opposed to corruption) are retried a few
+// times with a short backoff before being reported.
 type FileStore struct {
 	path string
 
-	mu       sync.Mutex
-	loaded   bool
-	sections map[string]json.RawMessage
+	// Logf, when set, receives warnings about generation rollback and
+	// quarantine. The CLI points it at stderr; engines stay silent.
+	Logf func(format string, args ...any)
+
+	// Retries and Backoff bound the transient-error retry loop
+	// (defaults: 2 retries, 2ms initial backoff, doubling).
+	Retries int
+	Backoff time.Duration
+
+	mu         sync.Mutex
+	loaded     bool
+	sections   map[string]json.RawMessage
+	loadErr    *CorruptError // every generation corrupt; sticky until Save quarantines
+	primaryBad bool          // primary file corrupt on disk; quarantine before next publish
+	rolledBack bool          // sections came from the .1 generation
 }
 
 // NewFileStore returns a FileStore at path. The file is read lazily on
@@ -53,31 +90,136 @@ func NewFileStore(path string) *FileStore { return &FileStore{path: path} }
 // Path returns the backing file path.
 func (f *FileStore) Path() string { return f.path }
 
+// backupPath is the previous checkpoint generation.
+func (f *FileStore) backupPath() string { return f.path + ".1" }
+
+// quarantinePath preserves an unreadable checkpoint for post-mortem.
+func (f *FileStore) quarantinePath() string { return f.path + ".corrupt" }
+
+// RolledBack reports whether the store recovered its sections from the
+// previous generation because the primary file was corrupt or missing.
+func (f *FileStore) RolledBack() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.rolledBack
+}
+
+func (f *FileStore) logf(format string, args ...any) {
+	if f.Logf != nil {
+		f.Logf(format, args...)
+	}
+}
+
+func (f *FileStore) retrySpec() (int, time.Duration) {
+	r, b := f.Retries, f.Backoff
+	if r <= 0 {
+		r = defaultRetries
+	}
+	if b <= 0 {
+		b = defaultBackoff
+	}
+	return r, b
+}
+
+// withRetry runs fn, retrying transient errors with doubling backoff.
+// Corruption is never retried: rereading the same bytes cannot help.
+func (f *FileStore) withRetry(op string, fn func() error) error {
+	retries, backoff := f.retrySpec()
+	var err error
+	for attempt := 0; ; attempt++ {
+		if err = fn(); err == nil {
+			return nil
+		}
+		if IsCorrupt(err) || attempt >= retries {
+			break
+		}
+		time.Sleep(backoff << attempt)
+	}
+	if IsCorrupt(err) {
+		return err
+	}
+	return fmt.Errorf("runctl: %s failed after %d attempts: %w", op, retries+1, err)
+}
+
+// readGeneration reads and decodes one generation file. A missing file
+// is (nil, fs.ErrNotExist); undecodable contents are *CorruptError.
+func (f *FileStore) readGeneration(path string) (map[string]json.RawMessage, error) {
+	var data []byte
+	err := f.withRetry("read checkpoint", func() error {
+		if err := failpoint.Inject(fpStoreRead); err != nil {
+			return err
+		}
+		var rerr error
+		data, rerr = os.ReadFile(path)
+		if errors.Is(rerr, fs.ErrNotExist) {
+			return nil // not transient; checked below
+		}
+		return rerr
+	})
+	if err != nil {
+		return nil, err
+	}
+	if data == nil {
+		if _, serr := os.Stat(path); errors.Is(serr, fs.ErrNotExist) {
+			return nil, fs.ErrNotExist
+		}
+		data = []byte{}
+	}
+	return decodeEnvelope(path, data)
+}
+
+// load populates sections from the primary generation, falling back to
+// the previous one when the primary is corrupt or missing. With every
+// generation unreadable it records a sticky *CorruptError: Loads fail
+// with it (typed, no silent acceptance) until a Save quarantines the
+// bad file and starts fresh.
 func (f *FileStore) load() error {
 	if f.loaded {
 		return nil
 	}
 	f.sections = make(map[string]json.RawMessage)
-	data, err := os.ReadFile(f.path)
-	if errors.Is(err, fs.ErrNotExist) {
+	sections, err := f.readGeneration(f.path)
+	switch {
+	case err == nil:
+		f.sections = sections
 		f.loaded = true
 		return nil
+	case errors.Is(err, fs.ErrNotExist):
+		// No primary. A crash between rotate and publish leaves only
+		// the previous generation — recover it.
+		prev, perr := f.readGeneration(f.backupPath())
+		if perr == nil && prev != nil {
+			f.sections = prev
+			f.rolledBack = true
+			f.loaded = true
+			f.logf("checkpoint %s missing; recovered previous generation %s", f.path, f.backupPath())
+			return nil
+		}
+		f.loaded = true // genuinely fresh store
+		return nil
+	case IsCorrupt(err):
+		f.primaryBad = true
+		prev, perr := f.readGeneration(f.backupPath())
+		if perr == nil && prev != nil {
+			f.sections = prev
+			f.rolledBack = true
+			f.loaded = true
+			f.logf("checkpoint corrupt (%v); rolled back to previous generation %s", err, f.backupPath())
+			return nil
+		}
+		// Both generations unreadable: report the primary's corruption.
+		ce := err.(*CorruptError)
+		if perr != nil && !errors.Is(perr, fs.ErrNotExist) {
+			ce = &CorruptError{Path: ce.Path, Kind: ce.Kind,
+				Detail: fmt.Sprintf("%s; previous generation also unreadable: %v", ce.Detail, perr)}
+		}
+		f.loadErr = ce
+		f.loaded = true
+		return nil
+	default:
+		f.sections = nil
+		return err // transient read failure: not sticky, retried next call
 	}
-	if err != nil {
-		return fmt.Errorf("runctl: read checkpoint: %w", err)
-	}
-	var env envelope
-	if err := json.Unmarshal(data, &env); err != nil {
-		return fmt.Errorf("runctl: checkpoint %s is corrupt: %w", f.path, err)
-	}
-	if env.Format != FileFormat {
-		return fmt.Errorf("runctl: checkpoint %s has format %q, want %q", f.path, env.Format, FileFormat)
-	}
-	if env.Sections != nil {
-		f.sections = env.Sections
-	}
-	f.loaded = true
-	return nil
 }
 
 // Save implements Store.
@@ -87,16 +229,92 @@ func (f *FileStore) Save(section string, v any) error {
 	if err := f.load(); err != nil {
 		return err
 	}
+	if f.loadErr != nil {
+		// Every generation was corrupt. Quarantine the primary and
+		// start a fresh store so the run can make progress again.
+		if err := os.Rename(f.path, f.quarantinePath()); err == nil {
+			f.logf("quarantined corrupt checkpoint as %s; starting a fresh store", f.quarantinePath())
+		}
+		f.sections = make(map[string]json.RawMessage)
+		f.loadErr = nil
+		f.primaryBad = false
+	}
 	raw, err := json.Marshal(v)
 	if err != nil {
 		return fmt.Errorf("runctl: encode section %q: %w", section, err)
 	}
 	f.sections[section] = raw
-	data, err := json.MarshalIndent(envelope{Format: FileFormat, Sections: f.sections}, "", " ")
+	data, err := encodeEnvelope(f.sections)
 	if err != nil {
-		return fmt.Errorf("runctl: encode checkpoint: %w", err)
+		return err
 	}
-	return writeAtomic(f.path, append(data, '\n'))
+	return f.withRetry("write checkpoint", func() error { return f.publish(data) })
+}
+
+// publish writes data next to the target, fsyncs it, rotates the
+// current generation aside, renames the temp file into place and
+// fsyncs the directory — the full crash-durable write path.
+func (f *FileStore) publish(data []byte) error {
+	dir := filepath.Dir(f.path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(f.path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("runctl: write checkpoint: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := failpoint.InjectWrite(fpStoreWrite, tmp, data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("runctl: write checkpoint: %w", err)
+	}
+	if err := failpoint.Inject(fpStoreSync); err != nil {
+		tmp.Close()
+		return fmt.Errorf("runctl: sync checkpoint: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("runctl: sync checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("runctl: close checkpoint: %w", err)
+	}
+	if f.primaryBad {
+		// Never rotate a corrupt primary over the good previous
+		// generation — park it for post-mortem instead.
+		if err := os.Rename(f.path, f.quarantinePath()); err == nil {
+			f.logf("quarantined corrupt checkpoint as %s", f.quarantinePath())
+		}
+		f.primaryBad = false
+	} else if _, err := os.Stat(f.path); err == nil {
+		if err := failpoint.Inject(fpStoreRotate); err != nil {
+			return fmt.Errorf("runctl: rotate checkpoint: %w", err)
+		}
+		if err := os.Rename(f.path, f.backupPath()); err != nil {
+			return fmt.Errorf("runctl: rotate checkpoint: %w", err)
+		}
+	}
+	if err := failpoint.Inject(fpStoreRename); err != nil {
+		return fmt.Errorf("runctl: publish checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), f.path); err != nil {
+		return fmt.Errorf("runctl: publish checkpoint: %w", err)
+	}
+	if err := failpoint.Inject(fpStoreDirSync); err != nil {
+		return fmt.Errorf("runctl: sync checkpoint directory: %w", err)
+	}
+	if err := syncDir(dir); err != nil {
+		return fmt.Errorf("runctl: sync checkpoint directory: %w", err)
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives power
+// loss, not only process death.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
 }
 
 // Load implements Store.
@@ -106,12 +324,16 @@ func (f *FileStore) Load(section string, v any) (bool, error) {
 	if err := f.load(); err != nil {
 		return false, err
 	}
+	if f.loadErr != nil {
+		return false, f.loadErr
+	}
 	raw, ok := f.sections[section]
 	if !ok {
 		return false, nil
 	}
 	if err := json.Unmarshal(raw, v); err != nil {
-		return false, fmt.Errorf("runctl: decode section %q: %w", section, err)
+		return false, &CorruptError{Path: f.path, Kind: CorruptSection,
+			Detail: fmt.Sprintf("section %q: %v", section, err)}
 	}
 	return true, nil
 }
@@ -122,34 +344,13 @@ func (f *FileStore) Clear() error {
 	defer f.mu.Unlock()
 	f.sections = make(map[string]json.RawMessage)
 	f.loaded = true
-	if err := os.Remove(f.path); err != nil && !errors.Is(err, fs.ErrNotExist) {
-		return fmt.Errorf("runctl: clear checkpoint: %w", err)
-	}
-	return nil
-}
-
-// writeAtomic writes data to path via a temp file in the same directory
-// followed by a rename, fsyncing the temp file first.
-func writeAtomic(path string, data []byte) error {
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
-	if err != nil {
-		return fmt.Errorf("runctl: write checkpoint: %w", err)
-	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		return fmt.Errorf("runctl: write checkpoint: %w", err)
-	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return fmt.Errorf("runctl: sync checkpoint: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		return fmt.Errorf("runctl: close checkpoint: %w", err)
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		return fmt.Errorf("runctl: publish checkpoint: %w", err)
+	f.loadErr = nil
+	f.primaryBad = false
+	f.rolledBack = false
+	for _, p := range []string{f.path, f.backupPath(), f.quarantinePath()} {
+		if err := os.Remove(p); err != nil && !errors.Is(err, fs.ErrNotExist) {
+			return fmt.Errorf("runctl: clear checkpoint: %w", err)
+		}
 	}
 	return nil
 }
@@ -186,7 +387,8 @@ func (m *MemStore) Load(section string, v any) (bool, error) {
 		return false, nil
 	}
 	if err := json.Unmarshal(raw, v); err != nil {
-		return false, fmt.Errorf("runctl: decode section %q: %w", section, err)
+		return false, &CorruptError{Kind: CorruptSection,
+			Detail: fmt.Sprintf("section %q: %v", section, err)}
 	}
 	return true, nil
 }

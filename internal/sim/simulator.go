@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/failpoint"
 	"repro/internal/fault"
 	"repro/internal/logic"
 	"repro/internal/netlist"
@@ -519,6 +520,11 @@ func (s *Simulator) runBatchSafe(m *Machine, tr *goodTrace, seq logic.Sequence, 
 			err = &PanicError{BatchStart: bi * Slots, BatchEnd: end, Value: r, Stack: debug.Stack()}
 		}
 	}()
+	// Fault-injection site for worker failure testing: an armed error
+	// fails the batch, an armed panic exercises the recover path above.
+	if err := failpoint.Inject("sim.worker.batch"); err != nil {
+		return 0, 0, err
+	}
 	steps, skipped = s.runBatchKernel(m, tr, seq, faults, bi*Slots, opts, out)
 	return steps, skipped, nil
 }

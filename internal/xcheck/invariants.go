@@ -34,6 +34,7 @@ func Invariants() []Invariant {
 		{"resume/identical", checkResumeIdentical},
 		{"seq/padding-monotone", checkPaddingMonotone},
 		{"translate/guarantee", checkTranslateGuarantee},
+		{"store/failure-survival", checkStoreSurvival},
 	}
 }
 
