@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-compact fuzz metrics-check xcheck soak clean
+.PHONY: build test race vet bench bench-compact fuzz metrics-check scand-smoke xcheck soak clean
 
 build:
 	$(GO) build ./...
@@ -51,6 +51,14 @@ metrics-check:
 	trap 'rm -f $$tmp' EXIT; \
 	$(GO) run ./cmd/scangen -circuit s27 -compact -no-baseline -metrics $$tmp >/dev/null && \
 	$(GO) run ./cmd/metricscheck $$tmp
+
+# scand-smoke exercises the ATPG job server end to end: start scand on
+# an ephemeral port, run jobs through the HTTP API with scanctl,
+# validate the streamed events with metricscheck, compare a sharded
+# simulate job byte-for-byte against an unsharded one, and require a
+# clean SIGTERM drain (README "Serving jobs", ALGORITHMS.md §15).
+scand-smoke:
+	GO="$(GO)" sh scripts/scand_smoke.sh
 
 # xcheck runs the differential/metamorphic cross-check harness
 # (ALGORITHMS.md §12) on fixed seeds across every catalog circuit plus

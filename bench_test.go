@@ -106,7 +106,7 @@ func BenchmarkTable4_CompactS27(b *testing.B) {
 	var compacted Sequence
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		compacted, _ = Compact(sc, gen.Sequence, faults)
+		compacted, _ = Compact(sc, gen.Sequence, faults, CompactOptions{})
 	}
 	b.ReportMetric(float64(len(gen.Sequence)), "raw_cycles")
 	b.ReportMetric(float64(len(compacted)), "cycles")
@@ -201,8 +201,8 @@ func BenchmarkMultiChainAblation(b *testing.B) {
 			var omitted Sequence
 			for i := 0; i < b.N; i++ {
 				gen := Generate(ch, faults, GenerateOptions{Seed: 1})
-				restored, _ := Restore(ch, gen.Sequence, faults)
-				omitted, _ = Omit(ch, restored, faults)
+				restored, _ := Restore(ch, gen.Sequence, faults, CompactOptions{})
+				omitted, _ = Omit(ch, restored, faults, CompactOptions{})
 			}
 			b.ReportMetric(float64(ch.MaxLen()), "complete_scan_cycles")
 			b.ReportMetric(float64(len(omitted)), "omit_cycles")

@@ -1,0 +1,107 @@
+// Command scand serves ATPG as a service: an HTTP/JSON job API over
+// internal/jobs. Clients submit a flow (generate, translate or sharded
+// fault simulation) over catalog circuits; the server's worker pool
+// claims tasks from a tenant-fair queue — including disjoint
+// Slots-aligned fault shards of a single simulate job — and every job
+// is budgeted, checkpointed, observable as a live JSONL event stream,
+// and resumable after a cancel, a drain or a process restart with
+// results bit-identical to an uninterrupted run.
+//
+// Usage:
+//
+//	scand -addr 127.0.0.1:8080 -data /var/lib/scand -workers 4
+//
+// SIGTERM or SIGINT drains gracefully: in-flight tasks checkpoint and
+// stop at their next run-control poll, interrupted jobs settle
+// suspended and resumable, and the process exits once every job is
+// settled and persisted. A second signal exits immediately.
+//
+// Use cmd/scanctl to talk to the server, or curl directly (see the
+// README's "Serving jobs" section).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/failpoint"
+	"repro/internal/jobs"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:8080", "listen address; port 0 picks a free port (see -addr-file)")
+		data       = flag.String("data", "scand-data", "data directory: one subdirectory per job (status, events, checkpoints, results)")
+		workers    = flag.Int("workers", 0, "task worker count (0 = GOMAXPROCS); each worker claims one task, so one sharded job can occupy several workers")
+		addrFile   = flag.String("addr-file", "", "write the bound address to this file once listening (for scripts using port 0)")
+		failpoints = flag.String("failpoints", "", "arm fault-injection sites for failure testing, e.g. 'runctl.store.rename=err@2' (see internal/failpoint)")
+	)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "scand: unexpected argument %q\n", flag.Arg(0))
+		os.Exit(2)
+	}
+	logger := log.New(os.Stderr, "scand: ", log.LstdFlags)
+
+	if *failpoints != "" {
+		if err := failpoint.Enable(*failpoints, 1); err != nil {
+			logger.Fatal(err)
+		}
+	}
+
+	srv, err := jobs.NewServer(jobs.Options{
+		DataDir: *data,
+		Workers: *workers,
+		Logf:    logger.Printf,
+	})
+	if err != nil {
+		logger.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	bound := ln.Addr().String()
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(bound+"\n"), 0o644); err != nil {
+			logger.Fatal(err)
+		}
+	}
+	logger.Printf("serving %d workers on http://%s (data %s)", srv.Workers(), bound, *data)
+
+	hs := &http.Server{Handler: srv.Handler()}
+	httpDone := make(chan error, 1)
+	go func() { httpDone <- hs.Serve(ln) }()
+
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	s := <-sig
+	logger.Printf("%v — draining: in-flight jobs checkpoint and settle resumable (signal again to quit now)", s)
+	go func() {
+		<-sig
+		os.Exit(130)
+	}()
+
+	// Drain the job engine first: queued tasks become suspended work,
+	// running tasks checkpoint and stop at their next poll, and settling
+	// closes every live event stream — so the HTTP shutdown afterwards
+	// has no long-lived responses left to wait on.
+	srv.Drain()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	hs.Shutdown(ctx)
+	if err := <-httpDone; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logger.Fatal(err)
+	}
+	logger.Printf("drained; all jobs settled")
+}

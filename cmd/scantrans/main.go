@@ -18,6 +18,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/report"
+	"repro/internal/runctl"
 )
 
 func main() {
@@ -34,9 +35,19 @@ func main() {
 		adiOrder   = flag.Bool("adi-order", false, "restore faults in increasing accidental-detection-index order (changes the output)")
 		verbose    = flag.Bool("v", false, "progress to stderr")
 	)
+	rc := runctl.RegisterFlags("scantrans")
 	oc := obs.RegisterFlags("scantrans")
 	flag.Parse()
-	ort, err := oc.Build(false)
+	ctl, err := rc.Build()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scantrans:", err)
+		os.Exit(2)
+	}
+	if *suite != "" && ctl != nil && ctl.Store != nil {
+		fmt.Fprintln(os.Stderr, "scantrans: -checkpoint needs a single -circuit run (suite circuits would fight over the file)")
+		os.Exit(2)
+	}
+	ort, err := oc.Build(rc.Resume)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "scantrans:", err)
 		os.Exit(2)
@@ -55,6 +66,7 @@ func main() {
 	if *adiOrder {
 		cfg.Order = compact.OrderADI
 	}
+	cfg.Control = ctl
 	cfg.Obs = ort.Observer()
 	cfg.Warn = os.Stderr
 
@@ -84,6 +96,9 @@ func main() {
 			fmt.Println()
 			fmt.Print(report.SequenceTable(art.Scan, art.Omitted,
 				fmt.Sprintf("Compacted translated sequence for %s_scan", row.Circ)))
+		}
+		if ctl != nil {
+			fmt.Println(report.RunBanner(row.Status, rc.Checkpoint))
 		}
 	case *suite != "":
 		var names []string

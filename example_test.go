@@ -79,14 +79,16 @@ func ExampleNewMetricsRecorder() {
 	// Output: true true
 }
 
-// Budgeting a run: the generator stops cleanly at the attempt cap with
-// a valid partial result a checkpoint could continue.
-func ExampleGenerateWithControl() {
+// Budgeting a run: a Control in the options stops the generator
+// cleanly at the attempt cap with a valid partial result a checkpoint
+// could continue.
+func ExampleGenerate_control() {
 	c, _ := scanatpg.LoadBenchmark("s27")
 	sc, _ := scanatpg.InsertScan(c)
 	faults := scanatpg.Faults(sc.Scan, true)
-	ctl := &scanatpg.Control{Budget: scanatpg.Budget{MaxAttempts: 1}}
-	res := scanatpg.GenerateWithControl(sc, faults, scanatpg.GenerateOptions{Seed: 1}, ctl)
+	opts := scanatpg.GenerateOptions{Seed: 1}
+	opts.Control = &scanatpg.Control{Budget: scanatpg.Budget{MaxAttempts: 1}}
+	res := scanatpg.Generate(sc, faults, opts)
 	fmt.Println(res.Status)
 	// Output: budget exhausted
 }

@@ -67,7 +67,7 @@ func main() {
 	fmt.Printf("\ngenerated %d-cycle sequence, %d/%d faults detected (%d via scan knowledge)\n",
 		len(gen.Sequence), gen.NumDetected(), len(faults), gen.NumFunct())
 
-	compacted, _ := scanatpg.Compact(sc, gen.Sequence, faults)
+	compacted, _ := scanatpg.Compact(sc, gen.Sequence, faults, scanatpg.CompactOptions{})
 	fmt.Printf("compacted to %d cycles\n", len(compacted))
 
 	// Show the final sequence; for a 5-flip-flop chain the limited

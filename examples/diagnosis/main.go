@@ -35,7 +35,7 @@ func main() {
 	}
 	faults := scanatpg.Faults(sc.Scan, true)
 	gen := scanatpg.Generate(sc, faults, scanatpg.GenerateOptions{Seed: 1})
-	seq, _ := scanatpg.Compact(sc, gen.Sequence, faults)
+	seq, _ := scanatpg.Compact(sc, gen.Sequence, faults, scanatpg.CompactOptions{})
 	fmt.Printf("circuit %s: %d faults, compact sequence of %d cycles\n", name, len(faults), len(seq))
 
 	dict := scanatpg.BuildDictionary(sc.Scan, seq, faults)

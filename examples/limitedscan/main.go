@@ -58,14 +58,14 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	compacted, _ := scanatpg.Compact(sc, translated, scanFaults)
+	compacted, _ := scanatpg.Compact(sc, translated, scanFaults, scanatpg.CompactOptions{})
 	fmt.Printf("2. translated + compacted: %d cycles (%.0f%% of conventional)\n",
 		len(compacted), 100*float64(len(compacted))/float64(base.Cycles))
 	printRuns(sc, compacted)
 
 	// 3. Native generation on C_scan and compaction.
 	gen := scanatpg.Generate(sc, scanFaults, scanatpg.GenerateOptions{Seed: 1})
-	native, _ := scanatpg.Compact(sc, gen.Sequence, scanFaults)
+	native, _ := scanatpg.Compact(sc, gen.Sequence, scanFaults, scanatpg.CompactOptions{})
 	fmt.Printf("\n3. native C_scan generation + compaction: %d cycles (%.0f%% of conventional)\n",
 		len(native), 100*float64(len(native))/float64(base.Cycles))
 	printRuns(sc, native)

@@ -39,8 +39,8 @@ func main() {
 		}
 		faults := scanatpg.Faults(ch.Scan, true)
 		gen := scanatpg.Generate(ch, faults, scanatpg.GenerateOptions{Seed: 1})
-		restored, _ := scanatpg.Restore(ch, gen.Sequence, faults)
-		omitted, _ := scanatpg.Omit(ch, restored, faults)
+		restored, _ := scanatpg.Restore(ch, gen.Sequence, faults, scanatpg.CompactOptions{})
+		omitted, _ := scanatpg.Omit(ch, restored, faults, scanatpg.CompactOptions{})
 		fcov := 100 * float64(gen.NumDetected()) / float64(len(faults))
 		fmt.Printf("%7d %8d %7d %7.2f %10d %10d\n",
 			n, ch.MaxLen(), len(faults), fcov, len(gen.Sequence), len(omitted))

@@ -38,7 +38,7 @@ func main() {
 	fmt.Printf("generated: %d detected (%d via scan knowledge), %d clock cycles\n",
 		gen.NumDetected(), gen.NumFunct(), len(gen.Sequence))
 
-	compacted, stats := scanatpg.Compact(sc, gen.Sequence, faults)
+	compacted, stats := scanatpg.Compact(sc, gen.Sequence, faults, scanatpg.CompactOptions{})
 	fmt.Printf("compacted: %d clock cycles (%d fault simulations)\n",
 		len(compacted), stats.Simulations)
 

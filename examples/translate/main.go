@@ -59,8 +59,8 @@ func main() {
 	// Step 3: compaction with non-scan procedures. Complete scan
 	// operations may now shrink into limited ones.
 	scanFaults := scanatpg.Faults(sc.Scan, true)
-	restored, rst := scanatpg.Restore(sc, seq, scanFaults)
-	omitted, ost := scanatpg.Omit(sc, restored, scanFaults)
+	restored, rst := scanatpg.Restore(sc, seq, scanFaults, scanatpg.CompactOptions{})
+	omitted, ost := scanatpg.Omit(sc, restored, scanFaults, scanatpg.CompactOptions{})
 	fmt.Printf("after vector restoration: %d vectors (%d targets)\n", len(restored), rst.TargetFaults)
 	fmt.Printf("after vector omission:    %d vectors (%d trial simulations)\n", len(omitted), ost.Simulations)
 	fmt.Printf("\ntest application time: %d -> %d cycles (%.0f%% saved) with the same test set\n",

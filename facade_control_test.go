@@ -23,11 +23,11 @@ func s27Design(t *testing.T) (*ScanCircuit, []Fault, GenerateResult) {
 }
 
 // The unified ScanDesign entry points must be bit-identical to the
-// internal compact package (and to the deprecated *Circuit wrappers).
+// internal compact package.
 func TestFacadeCompactUnified(t *testing.T) {
 	sc, faults, gen := s27Design(t)
 
-	fr, fst := Restore(sc, gen.Sequence, faults)
+	fr, fst := Restore(sc, gen.Sequence, faults, CompactOptions{})
 	ir, ist := compact.Restore(sc.Scan, gen.Sequence, faults)
 	if fr.String() != ir.String() {
 		t.Error("facade Restore differs from internal compact.Restore")
@@ -35,12 +35,8 @@ func TestFacadeCompactUnified(t *testing.T) {
 	if fst.AfterLen != ist.AfterLen || fst.TargetFaults != ist.TargetFaults {
 		t.Errorf("restore stats differ: %+v vs %+v", fst, ist)
 	}
-	wr, _ := RestoreCircuit(sc.Scan, gen.Sequence, faults)
-	if wr.String() != fr.String() {
-		t.Error("RestoreCircuit differs from Restore")
-	}
 
-	fo, fost := Omit(sc, fr, faults)
+	fo, fost := Omit(sc, fr, faults, CompactOptions{})
 	io2, iost := compact.Omit(sc.Scan, ir, faults)
 	if fo.String() != io2.String() {
 		t.Error("facade Omit differs from internal compact.Omit")
@@ -48,17 +44,34 @@ func TestFacadeCompactUnified(t *testing.T) {
 	if fost.AfterLen != iost.AfterLen {
 		t.Errorf("omit stats differ: %+v vs %+v", fost, iost)
 	}
-	wo, _ := OmitCircuit(sc.Scan, fr, faults)
-	if wo.String() != fo.String() {
-		t.Error("OmitCircuit differs from Omit")
-	}
 
-	cseq, cst := Compact(sc, gen.Sequence, faults)
+	cseq, cst := Compact(sc, gen.Sequence, faults, CompactOptions{})
 	if cseq.String() != fo.String() {
 		t.Error("Compact differs from Restore+Omit")
 	}
 	if cst.Status != Complete {
 		t.Errorf("Compact status = %v", cst.Status)
+	}
+}
+
+// Engine and order selection through CompactOptions must match the
+// internal package's behavior: engines are output-identical, OrderADI
+// changes output the same way on both paths.
+func TestFacadeCompactOptionsEngineOrder(t *testing.T) {
+	sc, faults, gen := s27Design(t)
+
+	inc, _ := Compact(sc, gen.Sequence, faults, CompactOptions{Engine: EngineIncremental})
+	scr, _ := Compact(sc, gen.Sequence, faults, CompactOptions{Engine: EngineScratch})
+	if inc.String() != scr.String() {
+		t.Error("incremental and scratch engines disagree through the facade")
+	}
+
+	adi, _ := Restore(sc, gen.Sequence, faults, CompactOptions{Order: OrderADI})
+	_, iadist := compact.RestoreOpts(sc.Scan, gen.Sequence, faults, compact.Options{Order: compact.OrderADI})
+	iadi, _ := compact.RestoreOpts(sc.Scan, gen.Sequence, faults, compact.Options{Order: compact.OrderADI})
+	_ = iadist
+	if adi.String() != iadi.String() {
+		t.Error("facade OrderADI differs from internal OrderADI")
 	}
 }
 
@@ -84,47 +97,66 @@ func TestFacadeSimulateCached(t *testing.T) {
 	}
 }
 
-func TestGenerateWithControl(t *testing.T) {
+// A budget rides in GenerateOptions.Control; the deprecated
+// GenerateWithControl shim must stay bit-identical to it.
+func TestGenerateControlInOptions(t *testing.T) {
 	sc, faults, plain := s27Design(t)
 
-	free := GenerateWithControl(sc, faults, GenerateOptions{Seed: 1}, nil)
+	opts := GenerateOptions{Seed: 1}
+	opts.Control = nil
+	free := Generate(sc, faults, opts)
 	if free.Status != Complete {
 		t.Fatalf("nil control status = %v", free.Status)
 	}
 	if free.Sequence.String() != plain.Sequence.String() {
-		t.Error("GenerateWithControl(nil) differs from Generate")
+		t.Error("Generate with nil Control differs from Generate")
 	}
 
-	capped := GenerateWithControl(sc, faults, GenerateOptions{Seed: 1},
-		&Control{Budget: Budget{MaxAttempts: 1}})
-	if capped.Status != BudgetExhausted {
-		t.Errorf("capped status = %v, want %v", capped.Status, BudgetExhausted)
+	capped := GenerateOptions{Seed: 1, Control: &Control{Budget: Budget{MaxAttempts: 1}}}
+	res := Generate(sc, faults, capped)
+	if res.Status != BudgetExhausted {
+		t.Errorf("capped status = %v, want %v", res.Status, BudgetExhausted)
 	}
-	if len(capped.Sequence) >= len(plain.Sequence) {
+	if len(res.Sequence) >= len(plain.Sequence) {
 		t.Error("budget stop should leave a shorter partial sequence")
+	}
+
+	shim := GenerateWithControl(sc, faults, GenerateOptions{Seed: 1},
+		&Control{Budget: Budget{MaxAttempts: 1}})
+	if shim.Status != res.Status || shim.Sequence.String() != res.Sequence.String() {
+		t.Error("deprecated GenerateWithControl shim differs from Generate with options Control")
 	}
 }
 
-func TestCompactWithControl(t *testing.T) {
+// A budget rides in CompactOptions.Control; the deprecated
+// CompactWithControl shim must stay bit-identical to it.
+func TestCompactControlInOptions(t *testing.T) {
 	sc, faults, gen := s27Design(t)
 
-	full, fullStats := Compact(sc, gen.Sequence, faults)
-	got, gotStats := CompactWithControl(sc, gen.Sequence, faults, nil)
+	full, fullStats := Compact(sc, gen.Sequence, faults, CompactOptions{})
+	got, gotStats := Compact(sc, gen.Sequence, faults, CompactOptions{Control: nil})
 	if got.String() != full.String() || gotStats.AfterLen != fullStats.AfterLen {
-		t.Error("CompactWithControl(nil) differs from Compact")
+		t.Error("Compact with nil Control differs from Compact")
 	}
 
-	_, st := CompactWithControl(sc, gen.Sequence, faults,
-		&Control{Budget: Budget{MaxTrials: 1}})
+	capped, st := Compact(sc, gen.Sequence, faults,
+		CompactOptions{Control: &Control{Budget: Budget{MaxTrials: 1}}})
 	if st.Status != BudgetExhausted {
 		t.Errorf("capped status = %v, want %v", st.Status, BudgetExhausted)
+	}
+
+	shim, shimSt := CompactWithControl(sc, gen.Sequence, faults,
+		&Control{Budget: Budget{MaxTrials: 1}})
+	if shimSt.Status != st.Status || shim.String() != capped.String() {
+		t.Error("deprecated CompactWithControl shim differs from Compact with options Control")
 	}
 }
 
 // The re-exported flight recorder must produce a schema-valid stream
-// when observing a facade flow.
+// when observing a facade flow, whether attached to the generator or to
+// a compaction pass through CompactOptions.Obs.
 func TestFacadeMetricsRecorder(t *testing.T) {
-	sc, faults, _ := s27Design(t)
+	sc, faults, gen := s27Design(t)
 	var buf bytes.Buffer
 	rec := NewMetricsRecorder(&buf, MetricsRecorderOptions{Program: "facade-test"})
 	opts := GenerateOptions{Seed: 1}
@@ -133,6 +165,7 @@ func TestFacadeMetricsRecorder(t *testing.T) {
 	if res.Status != Complete {
 		t.Fatalf("status = %v", res.Status)
 	}
+	Compact(sc, gen.Sequence, faults, CompactOptions{Obs: rec})
 	if err := rec.Close(); err != nil {
 		t.Fatal(err)
 	}
@@ -141,5 +174,8 @@ func TestFacadeMetricsRecorder(t *testing.T) {
 	}
 	if rec.Snapshot().Counters["generate.attempts"] == 0 {
 		t.Error("generator reported no attempts")
+	}
+	if rec.Snapshot().Counters["restore.trials"] == 0 {
+		t.Error("compaction pass reported no trials through CompactOptions.Obs")
 	}
 }

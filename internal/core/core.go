@@ -348,6 +348,11 @@ type TranslateRow struct {
 	RestorLen, RestorScan int
 	OmitLen, OmitScan     int
 	Cycles                int // conventional application of the source test set
+
+	// Status classifies the flow run like GenerateRow.Status: a
+	// Stopped() value marks partial numbers (stages after the stop hold
+	// zero values) that a checkpointed -resume can continue.
+	Status runctl.Status
 }
 
 // TranslateArtifacts carries the heavyweight objects of the translation
@@ -364,9 +369,14 @@ type TranslateArtifacts struct {
 // RunTranslate executes the translation flow on the named catalog
 // circuit: generate a conventional test set, translate it, compact it.
 func RunTranslate(name string, cfg Config) (TranslateRow, *TranslateArtifacts, error) {
+	ctl := cfg.Control
 	defer obs.T(cfg.Obs, "flow.time").Start()()
 	obs.Emit(cfg.Obs, "flow", "start",
 		obs.F("flow", "translate"), obs.F("circuit", name), obs.F("seed", cfg.Seed))
+	if err := checkMeta(ctl, "translate", name, cfg); err != nil {
+		ctl.Fail()
+		return TranslateRow{Circ: name, Status: runctl.Failed}, nil, err
+	}
 	c, err := circuits.Load(name)
 	if err != nil {
 		return TranslateRow{}, nil, err
@@ -401,11 +411,23 @@ func RunTranslate(name string, cfg Config) (TranslateRow, *TranslateArtifacts, e
 	if !cfg.SkipCompaction {
 		s := sim.NewSimulator(sc.Scan, cfg.Workers)
 		s.Observe(cfg.Obs)
-		copts := compact.Options{Sim: s, Obs: cfg.Obs, Engine: cfg.Engine, Order: cfg.Order}
-		restored, _ := compact.RestoreOpts(sc.Scan, seq, scanFaults, copts)
-		omitted := restored
-		if !capSkipsOmit(cfg, name, len(restored)) {
-			omitted, _ = compact.OmitOpts(sc.Scan, restored, scanFaults, copts)
+		copts := compact.Options{Sim: s, Control: ctl, Obs: cfg.Obs, Engine: cfg.Engine, Order: cfg.Order}
+		restored, rst := compact.RestoreOpts(sc.Scan, seq, scanFaults, copts)
+		if rst.Status != runctl.Complete {
+			row.Status = rst.Status
+		}
+		if rst.Status == runctl.Failed {
+			return row, art, rst.Err
+		}
+		omitted, ost := restored, compact.Stats{BeforeLen: len(restored), AfterLen: len(restored)}
+		if !rst.Status.Stopped() && !capSkipsOmit(cfg, name, len(restored)) {
+			omitted, ost = compact.OmitOpts(sc.Scan, restored, scanFaults, copts)
+			if ost.Status != runctl.Complete {
+				row.Status = ost.Status
+			}
+			if ost.Status == runctl.Failed {
+				return row, art, ost.Err
+			}
 		}
 		art.Restored, art.Omitted = restored, omitted
 		row.RestorLen = len(restored)
@@ -417,7 +439,7 @@ func RunTranslate(name string, cfg Config) (TranslateRow, *TranslateArtifacts, e
 	}
 	obs.Emit(cfg.Obs, "flow", "done",
 		obs.F("flow", "translate"), obs.F("circuit", name),
-		obs.F("status", runctl.Complete.String()))
+		obs.F("status", row.Status.String()))
 	return row, art, nil
 }
 

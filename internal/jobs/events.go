@@ -1,0 +1,84 @@
+package jobs
+
+import (
+	"context"
+	"sync"
+)
+
+// hub fans one job's JSONL event stream out to any number of API
+// watchers. Writes append to an in-memory history (the stream also
+// lands in events.jsonl via an io.MultiWriter, so history here is
+// bounded by one job's event volume); readers replay the history from
+// offset zero and then follow live appends, so a watcher attaching
+// mid-run sees the complete stream. The job's recorder runs with
+// Sync on, so every line reaches the hub the moment it is recorded.
+type hub struct {
+	mu      sync.Mutex
+	buf     []byte
+	changed chan struct{} // closed and replaced on every append/close
+	closed  bool
+}
+
+func newHub(history []byte) *hub {
+	return &hub{buf: append([]byte(nil), history...), changed: make(chan struct{})}
+}
+
+// Write implements io.Writer for the recorder's MultiWriter leg.
+func (h *hub) Write(p []byte) (int, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if !h.closed {
+		h.buf = append(h.buf, p...)
+		close(h.changed)
+		h.changed = make(chan struct{})
+	}
+	return len(p), nil
+}
+
+// close marks the stream complete; followers drain what is buffered and
+// return.
+func (h *hub) close() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if !h.closed {
+		h.closed = true
+		close(h.changed)
+		h.changed = make(chan struct{})
+	}
+}
+
+// snapshot returns the history appended since off, whether the stream
+// is closed, and the channel that signals the next change.
+func (h *hub) snapshot(off int) (chunk []byte, closed bool, changed <-chan struct{}) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if off < len(h.buf) {
+		chunk = h.buf[off:len(h.buf):len(h.buf)]
+	}
+	return chunk, h.closed, h.changed
+}
+
+// follow streams the history from offset zero to emit, blocking for
+// live appends until the hub closes or ctx is done. emit errors
+// (client went away) end the follow.
+func (h *hub) follow(ctx context.Context, emit func([]byte) error) error {
+	off := 0
+	for {
+		chunk, closed, changed := h.snapshot(off)
+		if len(chunk) > 0 {
+			if err := emit(chunk); err != nil {
+				return err
+			}
+			off += len(chunk)
+			continue
+		}
+		if closed {
+			return nil
+		}
+		select {
+		case <-changed:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package jobs
+
+import "sync"
+
+// queue is the tenant-fair task queue the server's workers drain.
+// Tasks enqueue FIFO per tenant; claims round-robin across tenants in
+// first-appearance order, so a tenant flooding hundreds of tasks delays
+// its own backlog, not another tenant's single job. Fairness is at
+// task granularity: a sharded job from tenant A and a job from tenant
+// B interleave shard by shard.
+type queue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	ring   []string           // tenants in first-appearance order
+	tasks  map[string][]*task // per-tenant FIFO
+	next   int                // ring position of the next claim
+	closed bool
+}
+
+func newQueue() *queue {
+	q := &queue{tasks: make(map[string][]*task)}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// push enqueues a task under its job's tenant.
+func (q *queue) push(t *task) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return
+	}
+	tenant := t.job.status.Spec.Tenant
+	if _, ok := q.tasks[tenant]; !ok {
+		q.ring = append(q.ring, tenant)
+	}
+	q.tasks[tenant] = append(q.tasks[tenant], t)
+	q.cond.Signal()
+}
+
+// pop blocks until a task is claimable or the queue is closed. The
+// claim scans the tenant ring from the cursor: the first tenant with a
+// backlog yields its oldest task, and the cursor advances past it.
+func (q *queue) pop() (*task, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		for i := 0; i < len(q.ring); i++ {
+			pos := (q.next + i) % len(q.ring)
+			tenant := q.ring[pos]
+			backlog := q.tasks[tenant]
+			if len(backlog) == 0 {
+				continue
+			}
+			// The cursor advances without wrapping so that a tenant
+			// appended to the ring between claims still gets the very
+			// next turn; the scan applies the modulo.
+			q.tasks[tenant] = backlog[1:]
+			q.next = pos + 1
+			return backlog[0], true
+		}
+		if q.closed {
+			return nil, false
+		}
+		q.cond.Wait()
+	}
+}
+
+// remove drops every queued task of one job (cancel of a queued job),
+// returning how many were dropped.
+func (q *queue) remove(j *job) int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	n := 0
+	for tenant, backlog := range q.tasks {
+		kept := backlog[:0]
+		for _, t := range backlog {
+			if t.job == j {
+				n++
+				continue
+			}
+			kept = append(kept, t)
+		}
+		q.tasks[tenant] = kept
+	}
+	return n
+}
+
+// close wakes every blocked pop with "no more tasks".
+func (q *queue) close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	q.cond.Broadcast()
+}

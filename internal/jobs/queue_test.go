@@ -1,0 +1,83 @@
+package jobs
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// tenantTask builds a detached task under a throwaway job for queue
+// unit tests.
+func tenantTask(tenant, name string) *task {
+	j := &job{status: Status{Spec: Spec{Tenant: tenant}}}
+	j.addTask(name, name, sim.FaultRange{})
+	return j.tasks[0]
+}
+
+func TestQueueTenantFairness(t *testing.T) {
+	q := newQueue()
+	// Tenant A floods three tasks before tenant B submits one; the claim
+	// order must interleave B after A's first task, not after A's last.
+	q.push(tenantTask("a", "a1"))
+	q.push(tenantTask("a", "a2"))
+	q.push(tenantTask("a", "a3"))
+	q.push(tenantTask("b", "b1"))
+	want := []string{"a1", "b1", "a2", "a3"}
+	for i, w := range want {
+		task, ok := q.pop()
+		if !ok {
+			t.Fatalf("pop %d: queue closed early", i)
+		}
+		if got := task.job.status.Tasks[task.idx].Name; got != w {
+			t.Fatalf("pop %d = %q, want %q", i, got, w)
+		}
+	}
+}
+
+func TestQueuePerTenantFIFO(t *testing.T) {
+	q := newQueue()
+	q.push(tenantTask("", "t1"))
+	q.push(tenantTask("", "t2"))
+	q.push(tenantTask("", "t3"))
+	for i, w := range []string{"t1", "t2", "t3"} {
+		task, _ := q.pop()
+		if got := task.job.status.Tasks[task.idx].Name; got != w {
+			t.Fatalf("pop %d = %q, want %q", i, got, w)
+		}
+	}
+}
+
+func TestQueueRemove(t *testing.T) {
+	q := newQueue()
+	keep := tenantTask("a", "keep")
+	drop1 := tenantTask("a", "drop1")
+	drop2 := drop1.job // second task of the same job
+	drop2.addTask("drop2", "drop2", sim.FaultRange{})
+	q.push(drop1)
+	q.push(keep)
+	q.push(drop2.tasks[1])
+	if n := q.remove(drop1.job); n != 2 {
+		t.Fatalf("remove dropped %d tasks, want 2", n)
+	}
+	task, ok := q.pop()
+	if !ok || task != keep {
+		t.Fatalf("pop after remove = %v, want the kept task", task)
+	}
+	q.close()
+	if _, ok := q.pop(); ok {
+		t.Fatal("pop on a closed empty queue reported a task")
+	}
+}
+
+func TestQueueCloseUnblocksPop(t *testing.T) {
+	q := newQueue()
+	done := make(chan bool)
+	go func() {
+		_, ok := q.pop()
+		done <- ok
+	}()
+	q.close()
+	if ok := <-done; ok {
+		t.Fatal("pop returned a task from an empty closed queue")
+	}
+}

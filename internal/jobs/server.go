@@ -1,0 +1,562 @@
+package jobs
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// Service errors the HTTP layer maps onto status codes.
+var (
+	ErrNotFound     = errors.New("jobs: no such job")
+	ErrNotResumable = errors.New("jobs: job is not resumable")
+	ErrNoResult     = errors.New("jobs: job has no result yet")
+	ErrDraining     = errors.New("jobs: server is draining")
+)
+
+// Options configures a Server.
+type Options struct {
+	// DataDir is the server's persistent root: one subdirectory per job
+	// holding job.json, events.jsonl, per-task checkpoints and results.
+	// Jobs found here on startup are reloaded; ones that were mid-run
+	// when the previous process died come back suspended and resumable.
+	DataDir string
+	// Workers is the task worker count (<= 0: GOMAXPROCS). Each worker
+	// claims one task at a time from the tenant-fair queue, so up to
+	// Workers tasks — including disjoint fault shards of one job — run
+	// concurrently.
+	Workers int
+	// Logf, when set, receives startup warnings (e.g. an unreadable
+	// job.json being skipped).
+	Logf func(format string, args ...any)
+}
+
+// Server owns the job table, the tenant-fair queue and the worker pool.
+// Create with NewServer, expose over HTTP with Handler, stop with
+// Drain.
+type Server struct {
+	dataDir string
+	logf    func(string, ...any)
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	order    []string // job IDs in submission order
+	nextID   int
+	draining bool
+
+	q       *queue
+	wg      sync.WaitGroup
+	workers int
+
+	// testTaskStart, when set (white-box tests only), runs on the
+	// worker goroutine after a task is claimed and before it starts.
+	testTaskStart func(*task)
+}
+
+// NewServer builds a Server over dataDir, reloads any persisted jobs,
+// and starts the worker pool.
+func NewServer(opts Options) (*Server, error) {
+	if opts.DataDir == "" {
+		return nil, errors.New("jobs: Options.DataDir is required")
+	}
+	if err := os.MkdirAll(opts.DataDir, 0o755); err != nil {
+		return nil, err
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	s := &Server{
+		dataDir: opts.DataDir,
+		logf:    logf,
+		jobs:    make(map[string]*job),
+		nextID:  1,
+		q:       newQueue(),
+		workers: workers,
+	}
+	if err := s.loadExisting(); err != nil {
+		return nil, err
+	}
+	for w := 0; w < workers; w++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Workers returns the worker-pool size.
+func (s *Server) Workers() int { return s.workers }
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		t, ok := s.q.pop()
+		if !ok {
+			return
+		}
+		if hook := s.testTaskStart; hook != nil {
+			hook(t)
+		}
+		t.job.runTask(t)
+	}
+}
+
+// loadExisting reloads persisted jobs from the data directory. A job
+// whose record says queued or running was mid-flight when the previous
+// process died: its checkpoints are intact, so it comes back suspended
+// and resumable. Unreadable or invalid records are skipped with a
+// warning — one corrupt file must not wedge the server.
+func (s *Server) loadExisting() error {
+	entries, err := os.ReadDir(s.dataDir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		var n int
+		if _, err := fmt.Sscanf(e.Name(), "job-%d", &n); err != nil {
+			continue
+		}
+		if n >= s.nextID {
+			s.nextID = n + 1
+		}
+		dir := filepath.Join(s.dataDir, e.Name())
+		var st Status
+		if err := readJSONFile(filepath.Join(dir, "job.json"), &st); err != nil {
+			s.logf("jobs: skipping %s: %v", e.Name(), err)
+			continue
+		}
+		if err := st.Validate(); err != nil {
+			s.logf("jobs: skipping %s: %v", e.Name(), err)
+			continue
+		}
+		j := &job{srv: s, dir: dir, status: st}
+		if !st.State.Terminal() {
+			j.status.State = StateSuspended
+			j.status.Resumable = true
+			j.status.Finished = nowRFC3339()
+			j.persistStatusLocked()
+		}
+		if err := j.rebuildTasks(); err != nil {
+			s.logf("jobs: %s is not resumable: %v", e.Name(), err)
+			j.status.Resumable = false
+		}
+		s.jobs[st.ID] = j
+		s.order = append(s.order, st.ID)
+	}
+	sort.Strings(s.order)
+	return nil
+}
+
+// rebuildTasks reconstructs the task list of a reloaded job from its
+// spec (task expansion is deterministic) and checks it still lines up
+// with the persisted task names.
+func (j *job) rebuildTasks() error {
+	saved := j.status.Tasks
+	j.status.Tasks = nil
+	j.tasks = nil
+	if err := buildTasks(j); err != nil {
+		j.status.Tasks = saved
+		return err
+	}
+	rebuilt := j.status.Tasks
+	j.status.Tasks = saved
+	if len(rebuilt) != len(saved) {
+		return fmt.Errorf("spec expands to %d tasks, record has %d", len(rebuilt), len(saved))
+	}
+	for i := range saved {
+		if rebuilt[i].Name != saved[i].Name {
+			return fmt.Errorf("task %d is %q in the record, %q from the spec", i, saved[i].Name, rebuilt[i].Name)
+		}
+	}
+	return nil
+}
+
+// Submit validates, persists and enqueues one job, returning its
+// initial status.
+func (s *Server) Submit(sp Spec) (*Status, error) {
+	if err := sp.Validate(); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return nil, ErrDraining
+	}
+	id := fmt.Sprintf("job-%04d", s.nextID)
+	s.nextID++
+	dir := filepath.Join(s.dataDir, id)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	j := &job{srv: s, dir: dir,
+		status: Status{ID: id, Spec: sp, State: StateQueued, Created: nowRFC3339()}}
+	if err := buildTasks(j); err != nil {
+		return nil, err
+	}
+	if err := j.openLeg(false); err != nil {
+		return nil, err
+	}
+	s.jobs[id] = j
+	s.order = append(s.order, id)
+	j.persistStatusLocked()
+	j.rec.Event("job", "submitted",
+		obs.F("flow", sp.Flow), obs.F("tasks", len(j.tasks)))
+	j.enqueue()
+	return j.status.clone(), nil
+}
+
+// Get returns one job's status.
+func (s *Server) Get(id string) (*Status, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return j.status.clone(), nil
+}
+
+// List returns every job's status in submission order.
+func (s *Server) List() []*Status {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Status, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id].status.clone())
+	}
+	return out
+}
+
+// Cancel stops a job: queued tasks are withdrawn, in-flight tasks
+// observe the cancellation at their next run-control poll, checkpoint
+// and stop. The job settles as canceled and resumable. Canceling a
+// terminal job is a no-op.
+func (s *Server) Cancel(id string) (*Status, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	if !j.status.State.Terminal() {
+		j.canceled = true
+		s.q.remove(j)
+		j.closeLegLocked()
+	}
+	return j.status.clone(), nil
+}
+
+// Resume re-enqueues a suspended or canceled job's unfinished tasks
+// with their checkpoints: the continued run produces results
+// bit-identical to an uninterrupted one.
+func (s *Server) Resume(id string) (*Status, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return nil, ErrDraining
+	}
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	if !j.status.State.Terminal() || !j.status.Resumable {
+		return nil, ErrNotResumable
+	}
+	if err := j.openLeg(true); err != nil {
+		return nil, err
+	}
+	j.persistStatusLocked()
+	j.rec.Event("job", "resume")
+	j.enqueue()
+	return j.status.clone(), nil
+}
+
+// Result returns a completed job's result.json bytes — exact stored
+// bytes, so two jobs with identical deterministic results compare
+// byte-identical through the API.
+func (s *Server) Result(id string) ([]byte, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		return nil, ErrNotFound
+	}
+	complete := j.status.State == StateComplete
+	path := j.resultPath()
+	s.mu.Unlock()
+	if !complete {
+		return nil, ErrNoResult
+	}
+	return os.ReadFile(path)
+}
+
+// Wait blocks until the job's current leg settles (tests and the CLI's
+// watch mode poll the API instead; this is the in-process shortcut).
+func (s *Server) Wait(id string) error {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		return ErrNotFound
+	}
+	done := j.done
+	s.mu.Unlock()
+	if done != nil {
+		<-done
+	}
+	return nil
+}
+
+// Checkpoints lists a job's checkpoint artifacts (per-task run-control
+// stores and partial results) by file name.
+func (s *Server) Checkpoints(id string) ([]string, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return nil, ErrNotFound
+	}
+	entries, err := os.ReadDir(j.dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if match, _ := filepath.Match("task-*.ckpt*", name); match {
+			names = append(names, name)
+		} else if match, _ := filepath.Match("task-*.result.json", name); match {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Checkpoint returns one checkpoint artifact's raw bytes. The name must
+// be one returned by Checkpoints — anything else (including path
+// traversal) is ErrNotFound.
+func (s *Server) Checkpoint(id, name string) ([]byte, error) {
+	names, err := s.Checkpoints(id)
+	if err != nil {
+		return nil, err
+	}
+	for _, n := range names {
+		if n == name {
+			s.mu.Lock()
+			dir := s.jobs[id].dir
+			s.mu.Unlock()
+			return os.ReadFile(filepath.Join(dir, name))
+		}
+	}
+	return nil, ErrNotFound
+}
+
+// Drain gracefully stops the server: new submissions and resumes are
+// rejected, every running job's context is canceled so in-flight tasks
+// checkpoint and stop at their next poll, workers exit once the queue
+// is closed, and every interrupted job settles suspended (or canceled)
+// with Resumable set. Drain returns when all jobs are settled; it is
+// the SIGTERM path of cmd/scand.
+func (s *Server) Drain() {
+	s.mu.Lock()
+	alreadyDraining := s.draining
+	s.draining = true
+	for _, j := range s.jobs {
+		if !j.status.State.Terminal() {
+			j.cancel()
+		}
+	}
+	s.mu.Unlock()
+	if alreadyDraining {
+		s.wg.Wait()
+		return
+	}
+	s.q.close()
+	s.wg.Wait()
+	s.mu.Lock()
+	for _, id := range s.order {
+		s.jobs[id].closeLegLocked()
+	}
+	s.mu.Unlock()
+}
+
+// httpError maps service errors onto HTTP status codes with a JSON
+// body.
+func httpError(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	var se *SpecError
+	switch {
+	case errors.As(err, &se):
+		code = http.StatusBadRequest
+	case errors.Is(err, ErrNotFound):
+		code = http.StatusNotFound
+	case errors.Is(err, ErrNotResumable), errors.Is(err, ErrNoResult):
+		code = http.StatusConflict
+	case errors.Is(err, ErrDraining):
+		code = http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+// writeJSON writes one JSON response.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// Handler returns the HTTP API:
+//
+//	POST /v1/jobs                       submit a spec (strict decode)
+//	GET  /v1/jobs                       list job statuses
+//	GET  /v1/jobs/{id}                  one job's status
+//	GET  /v1/jobs/{id}/events           JSONL event stream (replay + follow)
+//	GET  /v1/jobs/{id}/result           completed job's deterministic result
+//	GET  /v1/jobs/{id}/checkpoints      checkpoint artifact names
+//	GET  /v1/jobs/{id}/checkpoints/{name}  one artifact's bytes
+//	POST /v1/jobs/{id}/cancel           cancel (checkpointing, resumable)
+//	POST /v1/jobs/{id}/resume           resume from checkpoints
+//	GET  /healthz                       liveness
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, map[string]any{"ok": true, "workers": s.workers})
+	})
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		sp, err := DecodeSpec(r.Body)
+		if err != nil {
+			httpError(w, err)
+			return
+		}
+		st, err := s.Submit(sp)
+		if err != nil {
+			httpError(w, err)
+			return
+		}
+		writeJSON(w, st)
+	})
+	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, s.List())
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st, err := s.Get(r.PathValue("id"))
+		if err != nil {
+			httpError(w, err)
+			return
+		}
+		writeJSON(w, st)
+	})
+	mux.HandleFunc("POST /v1/jobs/{id}/cancel", func(w http.ResponseWriter, r *http.Request) {
+		st, err := s.Cancel(r.PathValue("id"))
+		if err != nil {
+			httpError(w, err)
+			return
+		}
+		writeJSON(w, st)
+	})
+	mux.HandleFunc("POST /v1/jobs/{id}/resume", func(w http.ResponseWriter, r *http.Request) {
+		st, err := s.Resume(r.PathValue("id"))
+		if err != nil {
+			httpError(w, err)
+			return
+		}
+		writeJSON(w, st)
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}/result", func(w http.ResponseWriter, r *http.Request) {
+		data, err := s.Result(r.PathValue("id"))
+		if err != nil {
+			httpError(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(data)
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}/checkpoints", func(w http.ResponseWriter, r *http.Request) {
+		names, err := s.Checkpoints(r.PathValue("id"))
+		if err != nil {
+			httpError(w, err)
+			return
+		}
+		if names == nil {
+			names = []string{}
+		}
+		writeJSON(w, names)
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}/checkpoints/{name}", func(w http.ResponseWriter, r *http.Request) {
+		data, err := s.Checkpoint(r.PathValue("id"), r.PathValue("name"))
+		if err != nil {
+			httpError(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Write(data)
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	return mux
+}
+
+// handleEvents streams a job's JSONL flight-recorder events: the full
+// history first, then live lines as tasks emit them, until the job
+// settles or the client goes away. Each line is flushed immediately
+// (the recorder runs with Sync on), so watchers see progress in real
+// time.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	j, ok := s.jobs[r.PathValue("id")]
+	var h *hub
+	var eventsPath string
+	if ok {
+		h = j.hub
+		eventsPath = j.eventsPath()
+	}
+	s.mu.Unlock()
+	if !ok {
+		httpError(w, ErrNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	if h == nil {
+		// Reloaded job with no live leg: serve the persisted stream.
+		data, err := os.ReadFile(eventsPath)
+		if err != nil {
+			httpError(w, err)
+			return
+		}
+		w.Write(data)
+		return
+	}
+	flusher, _ := w.(http.Flusher)
+	h.follow(r.Context(), func(chunk []byte) error {
+		if _, err := w.Write(chunk); err != nil {
+			return err
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return nil
+	})
+}
+
+// Slots re-exports the fault-batch width partitioning aligns to, for
+// callers sizing partitions without importing internal/sim.
+const Slots = sim.Slots

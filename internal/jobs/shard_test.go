@@ -1,0 +1,76 @@
+package jobs
+
+import (
+	"testing"
+
+	"repro/internal/circuits"
+	"repro/internal/fault"
+	"repro/internal/scan"
+	"repro/internal/sim"
+)
+
+// TestShardedDetectMatchesUnsharded is the in-package form of the
+// xcheck jobs/partition-merge invariant: splitting a circuit's fault
+// universe into Slots-aligned shards, simulating each on its own
+// simulator and merging must reproduce the unpartitioned detection
+// vector bit for bit, at every partition count and concurrency.
+func TestShardedDetectMatchesUnsharded(t *testing.T) {
+	for _, name := range []string{"s27", "s298"} {
+		t.Run(name, func(t *testing.T) {
+			c, err := circuits.Load(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d, err := scan.Insert(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			faults := fault.Universe(d.Scan, true)
+			seq := TestSequence(d, 7, 48)
+			ref := sim.NewSimulator(d.Scan, 1).Run(seq, faults, sim.Options{})
+			for _, parts := range []int{1, 2, 3, 5} {
+				for _, conc := range []int{1, 2, 4} {
+					got := ShardedDetect(d.Scan, seq, faults, parts, conc)
+					for i := range ref.DetectedAt {
+						if got[i] != ref.DetectedAt[i] {
+							t.Fatalf("parts=%d conc=%d: fault %d detected at %d, unsharded says %d",
+								parts, conc, i, got[i], ref.DetectedAt[i])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestTestSequenceDeterministic pins that the simulate flow's input
+// sequence is a pure function of (design, seed, length) — the property
+// resume legs and shards rely on to regenerate identical work.
+func TestTestSequenceDeterministic(t *testing.T) {
+	c, err := circuits.Load("s27")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := scan.Insert(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := TestSequence(d, 3, 10)
+	b := TestSequence(d, 3, 10)
+	if len(a) != 10 || len(b) != 10 {
+		t.Fatalf("lengths %d, %d, want 10", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].String() != b[i].String() {
+			t.Fatalf("vector %d differs between identical seeds", i)
+		}
+	}
+	diff := TestSequence(d, 4, 10)
+	same := true
+	for i := range a {
+		same = same && a[i].String() == diff[i].String()
+	}
+	if same {
+		t.Fatal("seeds 3 and 4 produced identical sequences")
+	}
+}

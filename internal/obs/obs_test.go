@@ -205,3 +205,24 @@ func TestDebugServer(t *testing.T) {
 		t.Errorf("text view = %q", text)
 	}
 }
+
+// A Sync recorder must make every line visible to the underlying writer
+// as soon as it is recorded, without waiting for Close.
+func TestRecorderSyncFlushesPerLine(t *testing.T) {
+	var buf bytes.Buffer
+	r := NewRecorder(&buf, RecorderOptions{Program: "sync-test", Sync: true})
+	headerLen := buf.Len()
+	if headerLen == 0 {
+		t.Fatal("run header not flushed immediately under Sync")
+	}
+	r.Event("jobs", "task_start", F("shard", 1))
+	if buf.Len() <= headerLen {
+		t.Fatal("event line not flushed immediately under Sync")
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Validate(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("sync stream invalid: %v", err)
+	}
+}

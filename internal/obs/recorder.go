@@ -57,6 +57,12 @@ type RecorderOptions struct {
 	// checkpointed run; the CLI layer pairs it with opening the file in
 	// append mode so one file carries the whole run's history.
 	Resumed bool
+	// Sync flushes the stream after every line instead of only on
+	// Close. Live-streaming backends (the job server's progress event
+	// feed) need each line visible to readers as soon as it is
+	// recorded; batch file recording leaves this off and keeps the
+	// buffered fast path.
+	Sync bool
 	// Clock overrides the timestamp source (tests).
 	Clock func() time.Time
 }
@@ -72,7 +78,7 @@ type Recorder struct {
 
 	mu    sync.Mutex
 	w     *bufio.Writer
-	flush func() error
+	sync  bool
 	seq   int64
 	every int
 	nEv   int
@@ -83,7 +89,7 @@ type Recorder struct {
 // NewRecorder builds a Recorder streaming to w (nil keeps instruments
 // only) and writes the run header line.
 func NewRecorder(w io.Writer, opts RecorderOptions) *Recorder {
-	r := &Recorder{every: opts.SnapshotEvery, clock: opts.Clock}
+	r := &Recorder{every: opts.SnapshotEvery, clock: opts.Clock, sync: opts.Sync}
 	if r.every == 0 {
 		r.every = 256
 	}
@@ -116,6 +122,12 @@ func (r *Recorder) writeLine(ln *Line) {
 	b = append(b, '\n')
 	if _, err := failpoint.InjectWrite(fpRecorderAppend, r.w, b); err != nil {
 		r.err = fmt.Errorf("obs: write: %w", err)
+		return
+	}
+	if r.sync {
+		if err := r.w.Flush(); err != nil {
+			r.err = fmt.Errorf("obs: flush: %w", err)
+		}
 	}
 }
 

@@ -17,6 +17,7 @@ package runctl
 
 import (
 	"context"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -61,6 +62,23 @@ func (s Status) String() string {
 		return statusNames[s]
 	}
 	return "unknown"
+}
+
+// MarshalText encodes the status as its String() name, so structs
+// embedding a Status (job records, checkpoint envelopes) serialize it
+// readably instead of as a bare integer.
+func (s Status) MarshalText() ([]byte, error) { return []byte(s.String()), nil }
+
+// UnmarshalText decodes a status name produced by MarshalText.
+func (s *Status) UnmarshalText(text []byte) error {
+	name := string(text)
+	for st, n := range statusNames {
+		if n == name {
+			*s = Status(st)
+			return nil
+		}
+	}
+	return fmt.Errorf("runctl: unknown status %q", name)
 }
 
 // Stopped reports whether the status marks an interrupted run whose

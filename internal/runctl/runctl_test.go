@@ -271,3 +271,23 @@ func TestResumeRequiresStoreAndFlag(t *testing.T) {
 		t.Fatalf("resume load = %+v ok=%v", got, ok)
 	}
 }
+
+func TestStatusTextRoundTrip(t *testing.T) {
+	for st := Complete; st <= Failed; st++ {
+		b, err := st.MarshalText()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got Status
+		if err := got.UnmarshalText(b); err != nil {
+			t.Fatalf("unmarshal %q: %v", b, err)
+		}
+		if got != st {
+			t.Errorf("round trip %v -> %q -> %v", st, b, got)
+		}
+	}
+	var bad Status
+	if err := bad.UnmarshalText([]byte("nonsense")); err == nil {
+		t.Error("unmarshal of unknown status name succeeded")
+	}
+}

@@ -1,0 +1,65 @@
+package sim
+
+// FaultRange is one contiguous fault-index range [Start, End) of a
+// partitioned fault universe — the unit of work a distributed detection
+// run hands to one worker. Ranges are produced by PartitionFaults.
+type FaultRange struct {
+	Start, End int
+}
+
+// Len returns the number of faults in the range.
+func (r FaultRange) Len() int { return r.End - r.Start }
+
+// Indices materializes the range as a fault-index slice, the form
+// Simulator.RunSubset consumes.
+func (r FaultRange) Indices() []int {
+	idx := make([]int, r.Len())
+	for i := range idx {
+		idx[i] = r.Start + i
+	}
+	return idx
+}
+
+// PartitionFaults splits a universe of n faults into at most parts
+// contiguous ranges whose boundaries are aligned to Slots (the
+// bit-parallel batch width). Alignment makes a partitioned run's batch
+// decomposition identical to the single-process one: RunSubset re-batches
+// a subset from its own position zero, and a Slots-aligned contiguous
+// range re-batches into exactly the batches the full run would form over
+// the same faults. Detection results are independent of batching either
+// way (batches only share the fault-free trace), so a merge of the
+// per-range DetectedAt values is bit-identical to one unpartitioned Run —
+// the invariant internal/xcheck pins as jobs/partition-merge.
+//
+// Whole Slots-batches are distributed as evenly as possible; when there
+// are fewer batches than parts, fewer ranges come back. n <= 0 or
+// parts <= 1 yields a single range covering everything (empty for n = 0).
+func PartitionFaults(n, parts int) []FaultRange {
+	if n <= 0 {
+		return []FaultRange{{0, 0}}
+	}
+	nBatches := (n + Slots - 1) / Slots
+	if parts <= 1 || nBatches == 1 {
+		return []FaultRange{{0, n}}
+	}
+	if parts > nBatches {
+		parts = nBatches
+	}
+	out := make([]FaultRange, 0, parts)
+	per, extra := nBatches/parts, nBatches%parts
+	batch := 0
+	for p := 0; p < parts; p++ {
+		take := per
+		if p < extra {
+			take++
+		}
+		start := batch * Slots
+		batch += take
+		end := batch * Slots
+		if end > n {
+			end = n
+		}
+		out = append(out, FaultRange{start, end})
+	}
+	return out
+}

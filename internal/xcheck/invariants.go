@@ -35,6 +35,7 @@ func Invariants() []Invariant {
 		{"seq/padding-monotone", checkPaddingMonotone},
 		{"translate/guarantee", checkTranslateGuarantee},
 		{"store/failure-survival", checkStoreSurvival},
+		{"jobs/partition-merge", checkPartitionMerge},
 	}
 }
 

@@ -1,0 +1,30 @@
+package xcheck
+
+import (
+	"fmt"
+
+	"repro/internal/jobs"
+	"repro/internal/sim"
+)
+
+// checkPartitionMerge pins the jobs service's sharding protocol: the
+// fault universe split into Slots-aligned partitions by
+// sim.PartitionFaults, each shard simulated on its own single-worker
+// simulator (as independent scand workers would), and the per-shard
+// DetectedAt ranges merged by jobs.MergeShard, must reproduce the
+// single-process run bit for bit at every partition count and
+// concurrency. This is the invariant that makes a multi-worker scand
+// job's result byte-identical to an unsharded one.
+func checkPartitionMerge(w *Workload) string {
+	want := sim.Run(w.Design.Scan, w.Seq, w.Faults, sim.Options{}).DetectedAt
+	for _, parts := range []int{2, 3, 7} {
+		for _, conc := range []int{1, 2} {
+			got := jobs.ShardedDetect(w.Design.Scan, w.Seq, w.Faults, parts, conc)
+			label := fmt.Sprintf("jobs/partition parts=%d conc=%d", parts, conc)
+			if msg := w.diffDetAt(label, want, got, nil); msg != "" {
+				return msg
+			}
+		}
+	}
+	return ""
+}

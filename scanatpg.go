@@ -18,7 +18,7 @@
 //	sc, _ := scanatpg.InsertScan(c)
 //	faults := scanatpg.Faults(sc.Scan, true)
 //	gen := scanatpg.Generate(sc, faults, scanatpg.GenerateOptions{Seed: 1})
-//	compacted, _ := scanatpg.Compact(sc, gen.Sequence, faults)
+//	compacted, _ := scanatpg.Compact(sc, gen.Sequence, faults, scanatpg.CompactOptions{})
 //	fmt.Printf("%d cycles -> %d cycles\n", len(gen.Sequence), len(compacted))
 //
 // The subpackages under internal/ hold the implementation: the netlist
@@ -181,42 +181,56 @@ func ConventionalCycles(tests []ScanTest, nsv int) int {
 	return translate.Cycles(tests, nsv)
 }
 
+// CompactOptions tunes the compaction entry points Restore, Omit and
+// Compact. The zero value selects defaults (all cores, incremental
+// engine, detection order, no budget, no observation). Fields:
+//
+//   - Workers / Sim: fault-simulation parallelism, or a caller-owned
+//     Simulator whose machine pool is shared across passes.
+//   - Control: budget/cancellation and checkpoint/resume — the former
+//     *WithControl variants folded into the options struct.
+//   - Obs: the flight-recorder Observer for the pass.
+//   - Engine: the trial engine (output identical for every engine).
+//   - Order: the restoration target order (OrderADI changes output).
+type CompactOptions = compact.Options
+
+// CompactEngine selects the compaction trial engine.
+type CompactEngine = compact.Engine
+
+// CompactOrder selects the restoration target order.
+type CompactOrder = compact.Order
+
+// Compaction engine and order values for CompactOptions.
+const (
+	EngineAuto        = compact.EngineAuto
+	EngineIncremental = compact.EngineIncremental
+	EngineScratch     = compact.EngineScratch
+	OrderDetection    = compact.OrderDetection
+	OrderADI          = compact.OrderADI
+)
+
 // Restore applies vector-restoration compaction [23] to a test sequence
 // for a scan design. Like Compact and Omit it accepts both a
-// single-chain *ScanCircuit and a multi-chain *ScanChains.
-func Restore(sc ScanDesign, seq Sequence, faults []Fault) (Sequence, CompactionStats) {
-	return compact.Restore(sc.ScanCircuit(), seq, faults)
+// single-chain *ScanCircuit and a multi-chain *ScanChains; pass
+// CompactOptions{} for the defaults.
+func Restore(sc ScanDesign, seq Sequence, faults []Fault, opts CompactOptions) (Sequence, CompactionStats) {
+	return compact.RestoreOpts(sc.ScanCircuit(), seq, faults, opts)
 }
 
 // Omit applies vector-omission compaction [22] to a test sequence for a
 // scan design.
-func Omit(sc ScanDesign, seq Sequence, faults []Fault) (Sequence, CompactionStats) {
-	return compact.Omit(sc.ScanCircuit(), seq, faults)
+func Omit(sc ScanDesign, seq Sequence, faults []Fault, opts CompactOptions) (Sequence, CompactionStats) {
+	return compact.OmitOpts(sc.ScanCircuit(), seq, faults, opts)
 }
 
 // Compact applies the paper's Section 4 pipeline — restoration followed
 // by omission — and returns the final sequence with the omission stats.
-func Compact(sc ScanDesign, seq Sequence, faults []Fault) (Sequence, CompactionStats) {
-	_, omitted, _, ost := compact.RestoreThenOmit(sc.ScanCircuit(), seq, faults)
+// Budgets, checkpointing, observation and engine/order selection all
+// ride in opts; with a Control set, a stopped pass returns the valid
+// partially compacted sequence with Stats.Status set.
+func Compact(sc ScanDesign, seq Sequence, faults []Fault, opts CompactOptions) (Sequence, CompactionStats) {
+	_, omitted, _, ost := compact.RestoreThenOmitOpts(sc.ScanCircuit(), seq, faults, opts)
 	return omitted, ost
-}
-
-// RestoreCircuit is Restore for a bare *Circuit.
-//
-// Deprecated: the compaction entry points uniformly take a ScanDesign;
-// use Restore. RestoreCircuit remains for callers compacting sequences
-// of circuits without scan structure.
-func RestoreCircuit(c *Circuit, seq Sequence, faults []Fault) (Sequence, CompactionStats) {
-	return compact.Restore(c, seq, faults)
-}
-
-// OmitCircuit is Omit for a bare *Circuit.
-//
-// Deprecated: the compaction entry points uniformly take a ScanDesign;
-// use Omit. OmitCircuit remains for callers compacting sequences of
-// circuits without scan structure.
-func OmitCircuit(c *Circuit, seq Sequence, faults []Fault) (Sequence, CompactionStats) {
-	return compact.Omit(c, seq, faults)
 }
 
 // simCache memoizes the last Simulator that Simulate built, so repeated
@@ -295,22 +309,21 @@ const (
 // NewFileStore returns a checkpoint Store backed by one JSON file.
 func NewFileStore(path string) *FileStore { return runctl.NewFileStore(path) }
 
-// GenerateWithControl is Generate under a budget: the generator polls
-// ctl once per attempt, checkpoints through its Store, and on a stop
-// returns the valid partial result with Result.Status set. A resumed
-// run finishes bit-identical to an uninterrupted one.
+// GenerateWithControl is Generate under a budget.
+//
+// Deprecated: GenerateOptions carries the Control directly — set
+// opts.Control and call Generate. This shim remains for one release.
 func GenerateWithControl(sc ScanDesign, faults []Fault, opts GenerateOptions, ctl *Control) GenerateResult {
 	opts.Control = ctl
 	return seqatpg.Generate(sc, faults, opts)
 }
 
-// CompactWithControl is Compact under a budget: both compaction passes
-// poll ctl (one trial per restoration position or omission window) and
-// checkpoint through its Store. On a stop the valid partially compacted
-// sequence is returned with Stats.Status set.
+// CompactWithControl is Compact under a budget.
+//
+// Deprecated: CompactOptions carries the Control directly — set
+// opts.Control and call Compact. This shim remains for one release.
 func CompactWithControl(sc ScanDesign, seq Sequence, faults []Fault, ctl *Control) (Sequence, CompactionStats) {
-	_, omitted, _, ost := compact.RestoreThenOmitOpts(sc.ScanCircuit(), seq, faults, compact.Options{Control: ctl})
-	return omitted, ost
+	return Compact(sc, seq, faults, CompactOptions{Control: ctl})
 }
 
 // Observability: the flight-recorder layer from the internal obs

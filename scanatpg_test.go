@@ -22,7 +22,7 @@ func TestFacadeEndToEnd(t *testing.T) {
 	if gen.NumDetected() != len(faults) {
 		t.Fatalf("s27 coverage %d/%d", gen.NumDetected(), len(faults))
 	}
-	compacted, stats := Compact(sc, gen.Sequence, faults)
+	compacted, stats := Compact(sc, gen.Sequence, faults, CompactOptions{})
 	if len(compacted) > len(gen.Sequence) {
 		t.Error("compaction grew the sequence")
 	}
@@ -98,8 +98,8 @@ func TestFacadeTranslateFlow(t *testing.T) {
 		t.Error("translated length != conventional cycles")
 	}
 	scanFaults := Faults(sc.Scan, true)
-	restored, _ := Restore(sc, seq, scanFaults)
-	omitted, _ := Omit(sc, restored, scanFaults)
+	restored, _ := Restore(sc, seq, scanFaults, CompactOptions{})
+	omitted, _ := Omit(sc, restored, scanFaults, CompactOptions{})
 	if len(omitted) > len(restored) || len(restored) > len(seq) {
 		t.Error("compaction not monotone")
 	}
