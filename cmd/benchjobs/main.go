@@ -1,0 +1,140 @@
+// Command benchjobs measures the job server's throughput on a
+// Table-5-shaped compaction workload — one compact-flow job spanning
+// several catalog circuits, each circuit a restore stage plus a chain
+// of omission window chunks — at one worker versus a fleet, and writes
+// the results as BENCH_sim.json-shaped entries (tasks/s, wall-clock
+// ns/op, speedup) to a JSON file. `make bench-jobs` runs it and tracks
+// BENCH_jobs.json in the repo root.
+//
+// The two runs execute the identical spec, so their results are
+// byte-identical (the jobs/worker-claim invariant); only the wall
+// clock differs. Workers are in-process pool workers — the same task
+// claim path remote scanworkers use, minus HTTP.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/jobs"
+)
+
+type entry struct {
+	Name       string             `json:"name"`
+	Iterations int                `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+func main() {
+	var (
+		circuits = flag.String("circuits", "s298,s344,s382,s420", "comma-separated catalog circuits for the compact job")
+		seqLen   = flag.Int("seq-len", 96, "test sequence length per circuit")
+		shards   = flag.Int("omit-shards", 2, "omission window chunks per circuit")
+		fleet    = flag.Int("fleet", 0, "fleet worker count (0 = min(GOMAXPROCS, circuit count))")
+		out      = flag.String("out", "BENCH_jobs.json", "output JSON path")
+	)
+	flag.Parse()
+	logger := log.New(os.Stderr, "benchjobs: ", 0)
+
+	names := strings.Split(*circuits, ",")
+	n := *fleet
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+		if n > len(names) {
+			n = len(names)
+		}
+	}
+	if n < 2 {
+		n = 2
+	}
+	spec := jobs.Spec{
+		Flow:       jobs.FlowCompact,
+		Circuits:   names,
+		Seed:       1,
+		SeqLen:     *seqLen,
+		OmitShards: *shards,
+		Workers:    1, // per-task sim parallelism off: measure job-level fan-out only
+	}
+
+	run := func(workers int) (time.Duration, int, []byte) {
+		dir, err := os.MkdirTemp("", "benchjobs-")
+		if err != nil {
+			logger.Fatal(err)
+		}
+		defer os.RemoveAll(dir)
+		srv, err := jobs.NewServer(jobs.Options{DataDir: dir, Workers: workers})
+		if err != nil {
+			logger.Fatal(err)
+		}
+		defer srv.Drain()
+		start := time.Now()
+		st, err := srv.Submit(spec)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		if err := srv.Wait(st.ID); err != nil {
+			logger.Fatal(err)
+		}
+		elapsed := time.Since(start)
+		final, err := srv.Get(st.ID)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		if final.State != jobs.StateComplete {
+			logger.Fatalf("workers=%d: job settled %s (%s)", workers, final.State, final.Error)
+		}
+		res, err := srv.Result(st.ID)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		return elapsed, len(final.Tasks), res
+	}
+
+	label := fmt.Sprintf("JobsCompact/%s/shards=%d", strings.Join(names, "+"), *shards)
+	logger.Printf("running %s at workers=1", label)
+	t1, tasks, res1 := run(1)
+	logger.Printf("workers=1: %d tasks in %v", tasks, t1)
+	logger.Printf("running %s at workers=%d", label, n)
+	tn, _, resN := run(n)
+	logger.Printf("workers=%d: %d tasks in %v (speedup %.2fx)", n, tasks, tn, t1.Seconds()/tn.Seconds())
+	if string(res1) != string(resN) {
+		logger.Fatalf("results differ between worker counts — determinism broken")
+	}
+
+	entries := []entry{
+		{
+			Name:       label + "/workers=1",
+			Iterations: 1,
+			Metrics: map[string]float64{
+				"ns/op":   float64(t1.Nanoseconds()),
+				"tasks":   float64(tasks),
+				"tasks/s": float64(tasks) / t1.Seconds(),
+			},
+		},
+		{
+			Name:       fmt.Sprintf("%s/workers=%d", label, n),
+			Iterations: 1,
+			Metrics: map[string]float64{
+				"ns/op":   float64(tn.Nanoseconds()),
+				"tasks":   float64(tasks),
+				"tasks/s": float64(tasks) / tn.Seconds(),
+				"speedup": t1.Seconds() / tn.Seconds(),
+			},
+		},
+	}
+	data, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		logger.Fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		logger.Fatal(err)
+	}
+	logger.Printf("wrote %s", *out)
+}

@@ -10,6 +10,7 @@
 //	scanctl cancel job-0001
 //	scanctl resume job-0001
 //	scanctl checkpoints job-0001
+//	scanctl top                     # live jobs + worker-fleet view
 //
 // submit prints the accepted job's status; add -watch to follow the
 // event stream and exit non-zero unless the job completes.
@@ -22,6 +23,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/jobs"
 )
@@ -30,7 +32,7 @@ func usage() {
 	fmt.Fprintf(os.Stderr, `usage: scanctl [-server URL] COMMAND [ARGS]
 
 commands:
-  submit   -flow generate|translate|simulate -circuits a,b,... [options]
+  submit   -flow generate|translate|simulate|compact -circuits a,b,... [options]
   list     list all jobs
   get      ID            print one job's status
   watch    ID            stream events until the job settles
@@ -38,6 +40,7 @@ commands:
   cancel   ID            cancel (checkpointing; resumable)
   resume   ID            resume a suspended or canceled job
   checkpoints ID [NAME]  list checkpoint artifacts, or dump one
+  top      [-interval D] [-once]  live jobs + worker-fleet view
 `)
 	os.Exit(2)
 }
@@ -89,6 +92,8 @@ func main() {
 		}
 	case "checkpoints":
 		err = checkpoints(ctx, c, args)
+	case "top":
+		err = top(ctx, c, args)
 	default:
 		usage()
 	}
@@ -116,7 +121,7 @@ func submit(ctx context.Context, c *jobs.Client, args []string) error {
 	var sp jobs.Spec
 	var circuits string
 	var doWatch bool
-	fs.StringVar(&sp.Flow, "flow", "", "flow: generate, translate or simulate")
+	fs.StringVar(&sp.Flow, "flow", "", "flow: generate, translate, simulate or compact")
 	fs.StringVar(&circuits, "circuits", "", "comma-separated catalog circuits")
 	fs.Uint64Var(&sp.Seed, "seed", 0, "random seed (0 = 1)")
 	fs.BoolVar(&sp.NoCollapse, "no-collapse", false, "disable fault collapsing")
@@ -127,7 +132,9 @@ func submit(ctx context.Context, c *jobs.Client, args []string) error {
 	fs.BoolVar(&sp.SkipBaseline, "skip-baseline", false, "skip the conventional-scan baseline")
 	fs.BoolVar(&sp.SkipCompaction, "skip-compaction", false, "skip compaction")
 	fs.IntVar(&sp.Partitions, "partitions", 0, "fault shards per circuit (simulate flow)")
-	fs.IntVar(&sp.SeqLen, "seq-len", 0, "sequence length (simulate flow; 0 = 128)")
+	fs.IntVar(&sp.SeqLen, "seq-len", 0, "sequence length (simulate/compact flows; 0 = 128)")
+	fs.IntVar(&sp.OmitShards, "omit-shards", 0, "omission window chunks per circuit (compact flow; 0 = 1)")
+	fs.IntVar(&sp.Priority, "priority", 0, "queue priority class (higher runs first)")
 	fs.Int64Var(&sp.TimeoutMS, "timeout-ms", 0, "job wall-clock budget in ms")
 	fs.Int64Var(&sp.MaxAttempts, "max-attempts", 0, "per-task generation attempt cap")
 	fs.Int64Var(&sp.MaxTrials, "max-trials", 0, "per-task compaction trial cap")
@@ -161,6 +168,62 @@ func watch(ctx context.Context, c *jobs.Client, id string) error {
 		return fmt.Errorf("job settled %s", st.State)
 	}
 	return nil
+}
+
+// top renders a live jobs + worker-fleet view, refreshing in place
+// until interrupted (or once with -once).
+func top(ctx context.Context, c *jobs.Client, args []string) error {
+	fs := flag.NewFlagSet("top", flag.ExitOnError)
+	interval := fs.Duration("interval", time.Second, "refresh interval")
+	once := fs.Bool("once", false, "print one snapshot and exit")
+	fs.Parse(args)
+	first := true
+	for {
+		list, err := c.List(ctx)
+		if err != nil {
+			return err
+		}
+		workers, err := c.Workers(ctx)
+		if err != nil {
+			return err
+		}
+		var b strings.Builder
+		fmt.Fprintf(&b, "JOBS (%d)\n", len(list))
+		for _, st := range list {
+			done := 0
+			for _, t := range st.Tasks {
+				if t.Done {
+					done++
+				}
+			}
+			tenant := st.Spec.Tenant
+			if tenant == "" {
+				tenant = "-"
+			}
+			fmt.Fprintf(&b, "  %s  %-9s  %-9s  prio %2d  tenant %-10s  %3d/%-3d tasks  %s\n",
+				st.ID, st.State, st.Spec.Flow, st.Spec.Priority, tenant,
+				done, len(st.Tasks), strings.Join(st.Spec.Circuits, ","))
+		}
+		fmt.Fprintf(&b, "WORKERS (%d leases)\n", len(workers))
+		for _, w := range workers {
+			fmt.Fprintf(&b, "  %-20s  %s  %s %s  expires %4dms\n",
+				w.Worker, w.Lease, w.Job, w.Task, w.ExpiresMS)
+		}
+		if !first && !*once {
+			// Redraw in place: cursor home + erase below.
+			fmt.Print("\033[H\033[J")
+		}
+		os.Stdout.WriteString(b.String())
+		if *once {
+			return nil
+		}
+		first = false
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(*interval):
+		}
+	}
 }
 
 func checkpoints(ctx context.Context, c *jobs.Client, args []string) error {

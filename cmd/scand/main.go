@@ -1,11 +1,19 @@
 // Command scand serves ATPG as a service: an HTTP/JSON job API over
-// internal/jobs. Clients submit a flow (generate, translate or sharded
-// fault simulation) over catalog circuits; the server's worker pool
-// claims tasks from a tenant-fair queue — including disjoint
-// Slots-aligned fault shards of a single simulate job — and every job
-// is budgeted, checkpointed, observable as a live JSONL event stream,
-// and resumable after a cancel, a drain or a process restart with
-// results bit-identical to an uninterrupted run.
+// internal/jobs. Clients submit a flow (generate, translate, sharded
+// fault simulation or sharded compaction) over catalog circuits; tasks
+// queue tenant-fair in priority order — disjoint Slots-aligned fault
+// shards of a simulate job, restore-then-omission-chunk chains of a
+// compact job — and every job is budgeted, checkpointed, observable as
+// a live JSONL event stream, and resumable after a cancel, a drain or
+// a process restart with results bit-identical to an uninterrupted
+// run.
+//
+// Tasks run on the in-process pool (-workers), on remote cmd/scanworker
+// processes claiming leases over HTTP (-workers -1 for remote-only), or
+// both. A lease not heartbeated within -lease-ttl is reclaimed and its
+// task re-run from the last checkpoint the worker uploaded, so a killed
+// worker costs at most one heartbeat of progress and never a byte of
+// the result.
 //
 // Usage:
 //
@@ -41,7 +49,9 @@ func main() {
 	var (
 		addr       = flag.String("addr", "127.0.0.1:8080", "listen address; port 0 picks a free port (see -addr-file)")
 		data       = flag.String("data", "scand-data", "data directory: one subdirectory per job (status, events, checkpoints, results)")
-		workers    = flag.Int("workers", 0, "task worker count (0 = GOMAXPROCS); each worker claims one task, so one sharded job can occupy several workers")
+		workers    = flag.Int("workers", 0, "task worker count (0 = GOMAXPROCS, negative = none: remote scanworkers only)")
+		leaseTTL   = flag.Duration("lease-ttl", 15*time.Second, "remote worker lease TTL; a lease not heartbeated within it is reclaimed and its task re-queued")
+		quota      = flag.Int("tenant-quota", 0, "max in-flight tasks per tenant across local and remote workers (0 = unlimited)")
 		addrFile   = flag.String("addr-file", "", "write the bound address to this file once listening (for scripts using port 0)")
 		failpoints = flag.String("failpoints", "", "arm fault-injection sites for failure testing, e.g. 'runctl.store.rename=err@2' (see internal/failpoint)")
 	)
@@ -59,9 +69,11 @@ func main() {
 	}
 
 	srv, err := jobs.NewServer(jobs.Options{
-		DataDir: *data,
-		Workers: *workers,
-		Logf:    logger.Printf,
+		DataDir:     *data,
+		Workers:     *workers,
+		LeaseTTL:    *leaseTTL,
+		TenantQuota: *quota,
+		Logf:        logger.Printf,
 	})
 	if err != nil {
 		logger.Fatal(err)

@@ -1,0 +1,279 @@
+package compact
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/fault"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/runctl"
+)
+
+// This file is the sharding surface of the omission pass: the window
+// grid arithmetic and checkpoint accessors that let a scheduler (the
+// jobs service) split one circuit's omission into a chain of
+// budget-bounded chunks, each handed to a different worker, with the
+// final output bit-identical to a single uninterrupted run.
+//
+// Sharding leans entirely on machinery the pass already has. Omission
+// walks a fixed window grid — t = L, L-16, … with omitBlock-sized
+// steps, one budget Trial charged per window — and checkpoints at every
+// window boundary, so "run chunk j" is exactly "resume from the
+// predecessor's checkpoint with MaxTrials set to this chunk's window
+// share". No chunk boundary state exists beyond the ordinary omit
+// checkpoint, which is what makes a chunk re-runnable from scratch
+// (worker crash, lease reclaim) without any coordination.
+
+// OmitWindows is the number of removal windows omission walks for a
+// sequence of inLen vectors: the grid steps omitBlock positions per
+// window regardless of how many vectors each window removes.
+func OmitWindows(inLen int) int {
+	return (inLen + omitBlock - 1) / omitBlock
+}
+
+// OmitWindowsDone converts an omit checkpoint's NextT back into the
+// number of windows already processed.
+func OmitWindowsDone(inLen, nextT int) int {
+	return (inLen - nextT + omitBlock - 1) / omitBlock
+}
+
+// OmitChunkEnd is the window index (exclusive) chunk j of m owns when
+// inLen vectors' windows are split as evenly as the grid allows:
+// chunk j covers windows [OmitChunkEnd(j-1), OmitChunkEnd(j)).
+func OmitChunkEnd(inLen, chunks, chunk int) int {
+	return (chunk + 1) * OmitWindows(inLen) / chunks
+}
+
+// OmitState is the scheduler-visible part of an omit checkpoint.
+type OmitState struct {
+	// NextT is the working-sequence position the next window ends at.
+	NextT int
+	// Kept marks the input positions still present ('1' per survivor).
+	Kept string
+	// Done reports a finished pass.
+	Done bool
+}
+
+// LoadOmitState reads the omit section from store, validated against
+// the run shape. ok is false when the section is absent (a fresh run).
+func LoadOmitState(store runctl.Store, inLen, nFaults int) (OmitState, bool, error) {
+	ctl := &runctl.Control{Store: store, Resume: true}
+	ck, ok, err := loadOmitCheckpoint(ctl, inLen, nFaults)
+	if err != nil || !ok {
+		return OmitState{}, false, err
+	}
+	return OmitState{NextT: ck.NextT, Kept: ck.Kept, Done: ck.Done}, true, nil
+}
+
+// RestoreState is the scheduler-visible part of a restore checkpoint.
+type RestoreState struct {
+	// Kept marks the input positions restoration kept.
+	Kept string
+	// Done reports a finished pass.
+	Done bool
+}
+
+// LoadRestoreState reads the restore section from store, validated
+// against the run shape and order policy. ok is false when the section
+// is absent.
+func LoadRestoreState(store runctl.Store, inLen, nFaults int, order Order) (RestoreState, bool, error) {
+	ctl := &runctl.Control{Store: store, Resume: true}
+	ck, ok, err := loadRestoreCheckpoint(ctl, inLen, nFaults, order)
+	if err != nil || !ok {
+		return RestoreState{}, false, err
+	}
+	return RestoreState{Kept: ck.Kept, Done: ck.Done}, true, nil
+}
+
+// ApplyMask selects the '1' positions of kept out of seq — the
+// subsequence a kept-mask checkpoint describes.
+func ApplyMask(seq logic.Sequence, kept string) (logic.Sequence, error) {
+	if len(kept) != len(seq) {
+		return nil, maskLenError("apply", len(kept), len(seq))
+	}
+	out := make(logic.Sequence, 0, len(seq))
+	for i := range seq {
+		if kept[i] == '1' {
+			out = append(out, seq[i])
+		}
+	}
+	return out, nil
+}
+
+// ComposeKept maps an inner kept mask (over the sequence the outer mask
+// selects) back onto outer's index space: the k-th '1' of outer
+// survives iff inner[k] is '1'. Composing restoration's mask with
+// omission's yields the input positions of the final compacted
+// sequence.
+func ComposeKept(outer, inner string) (string, error) {
+	out := []byte(outer)
+	k := 0
+	for i := range out {
+		if out[i] != '1' {
+			continue
+		}
+		if k >= len(inner) {
+			return "", maskLenError("compose", len(inner), k+1)
+		}
+		if inner[k] != '1' {
+			out[i] = '0'
+		}
+		k++
+	}
+	if k != len(inner) {
+		return "", maskLenError("compose", len(inner), k)
+	}
+	return string(out), nil
+}
+
+// CountKept is the number of '1' positions in a kept mask.
+func CountKept(kept string) int {
+	n := 0
+	for i := 0; i < len(kept); i++ {
+		if kept[i] == '1' {
+			n++
+		}
+	}
+	return n
+}
+
+// CopySection copies one checkpoint section verbatim between stores —
+// how a scheduler seeds chunk j's store from chunk j-1's final
+// checkpoint. Copying nothing (section absent) is not an error.
+func CopySection(dst, src runctl.Store, section string) error {
+	var raw json.RawMessage
+	ok, err := src.Load(section, &raw)
+	if err != nil || !ok {
+		return err
+	}
+	return dst.Save(section, raw)
+}
+
+// OmitSection is the checkpoint section name the omission pass owns,
+// exported for CopySection callers.
+const OmitSection = omitSection
+
+// OmitChunkOpts runs removal-window chunk `chunk` of `chunks` of an
+// omission pass over seq, resuming from whatever omit checkpoint
+// opts.Control's store holds (the predecessor chunk's, or this chunk's
+// own after an interruption) and stopping once the chunk's window share
+// [OmitChunkEnd(chunk-1), OmitChunkEnd(chunk)) is done. The final chunk
+// runs to the end of the grid and returns the completed pass's sequence
+// and stats.
+//
+// chunkDone reports the chunk's share finished (for a non-final chunk
+// the pass itself is still mid-grid and st.Status is a stopped status
+// by construction; the scheduler must treat chunkDone as the completion
+// signal, not st.Status). A Control budget tighter than the chunk share
+// (spec MaxTrials, deadline, cancel) stops the chunk early with
+// chunkDone false, exactly like any other budgeted run.
+func OmitChunkOpts(c *netlist.Circuit, seq logic.Sequence, faults []fault.Fault, opts Options, chunk, chunks int) (logic.Sequence, Stats, bool, error) {
+	ctl := opts.Control
+	if ctl == nil || ctl.Store == nil {
+		return nil, Stats{}, false, fmt.Errorf("compact: omission chunks need a checkpoint store")
+	}
+	if chunk < 0 || chunk >= chunks {
+		return nil, Stats{}, false, fmt.Errorf("compact: chunk %d outside %d chunks", chunk, chunks)
+	}
+	ctl.Resume = true
+	windowsDone := 0
+	if st, ok, err := LoadOmitState(ctl.Store, len(seq), len(faults)); err != nil {
+		return nil, Stats{}, false, err
+	} else if ok {
+		windowsDone = OmitWindowsDone(len(seq), st.NextT)
+		if st.Done {
+			windowsDone = OmitWindows(len(seq))
+		}
+	}
+	final := chunk == chunks-1
+	end := OmitChunkEnd(len(seq), chunks, chunk)
+	if !final {
+		if windowsDone >= end {
+			// The share is already in the checkpoint — a reclaimed lease
+			// re-running a chunk that had finished before its worker died.
+			return nil, Stats{}, true, nil
+		}
+		// The chunk budget is its remaining window share; a tighter
+		// caller budget (spec max_trials) keeps precedence so per-job
+		// budgeting still suspends chunked jobs.
+		budget := int64(end - windowsDone)
+		if ctl.Budget.MaxTrials == 0 || budget < ctl.Budget.MaxTrials {
+			ctl.Budget.MaxTrials = budget
+		}
+	}
+	out, st := OmitOpts(c, seq, faults, opts)
+	if st.Status == runctl.Failed {
+		return out, st, false, st.Err
+	}
+	chunkDone := st.Status.Done()
+	if !final && !chunkDone && st.Status == runctl.BudgetExhausted {
+		// Distinguish "chunk share done" from "caller budget ran out
+		// first" by where the checkpoint landed on the grid.
+		if cur, ok, err := LoadOmitState(ctl.Store, len(seq), len(faults)); err != nil {
+			return out, st, false, err
+		} else if ok {
+			done := OmitWindowsDone(len(seq), cur.NextT)
+			if cur.Done {
+				done = OmitWindows(len(seq))
+			}
+			chunkDone = done >= end
+		}
+	}
+	return out, st, chunkDone, nil
+}
+
+// ChunkedRestoreThenOmit is the single-process reference for the
+// sharded compaction protocol: restoration, then the omission grid run
+// as `chunks` sequential chunks, each with its own store seeded by
+// CopySection from its predecessor — exactly the job scheduler's chunk
+// chain, minus the network. Its outputs must be bit-identical to
+// RestoreThenOmitOpts at every chunk count; the jobs/worker-claim
+// xcheck invariant pins that.
+func ChunkedRestoreThenOmit(c *netlist.Circuit, seq logic.Sequence, faults []fault.Fault, opts Options, chunks int) (restored, omitted logic.Sequence, rst, ost Stats, err error) {
+	if chunks < 1 {
+		return nil, nil, rst, ost, fmt.Errorf("compact: chunk count %d", chunks)
+	}
+	private := opts.Sim == nil
+	opts.Sim = opts.simulator(c)
+	if private {
+		opts.Sim.Observe(opts.Obs)
+	}
+	base := opts.Control
+	rctl := &runctl.Control{Store: runctl.NewMemStore(), Resume: true}
+	if base != nil {
+		rctl.Budget = base.Budget
+	}
+	opts.Control = rctl
+	restored, rst = RestoreOpts(c, seq, faults, opts)
+	if !rst.Status.Done() {
+		ost = Stats{BeforeLen: len(restored), AfterLen: len(restored), Status: rst.Status, Err: rst.Err}
+		return restored, restored, rst, ost, rst.Err
+	}
+	var prev runctl.Store
+	for chunk := 0; chunk < chunks; chunk++ {
+		store := runctl.NewMemStore()
+		if prev != nil {
+			if err := CopySection(store, prev, OmitSection); err != nil {
+				return restored, nil, rst, ost, err
+			}
+		}
+		ctl := &runctl.Control{Store: store, Resume: true}
+		if base != nil {
+			ctl.Budget = base.Budget
+		}
+		opts.Control = ctl
+		out, st, chunkDone, err := OmitChunkOpts(c, restored, faults, opts, chunk, chunks)
+		if err != nil {
+			return restored, out, rst, st, err
+		}
+		if !chunkDone {
+			return restored, out, rst, st, fmt.Errorf("compact: chunk %d/%d stopped: %s", chunk, chunks, st.Status)
+		}
+		if chunk == chunks-1 {
+			omitted, ost = out, st
+		}
+		prev = store
+	}
+	return restored, omitted, rst, ost, nil
+}

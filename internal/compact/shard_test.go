@@ -1,0 +1,158 @@
+package compact
+
+import (
+	"testing"
+
+	"repro/internal/runctl"
+)
+
+func TestOmitWindowArithmetic(t *testing.T) {
+	cases := []struct {
+		inLen, windows int
+	}{{0, 0}, {1, 1}, {15, 1}, {16, 1}, {17, 2}, {32, 2}, {33, 3}, {96, 6}}
+	for _, tc := range cases {
+		if got := OmitWindows(tc.inLen); got != tc.windows {
+			t.Errorf("OmitWindows(%d) = %d, want %d", tc.inLen, got, tc.windows)
+		}
+	}
+	// The grid decrements exactly omitBlock per window, so NextT after k
+	// windows is inLen - k*omitBlock (floored at 0) and the conversion
+	// must invert that for every position on the grid.
+	for _, inLen := range []int{1, 16, 17, 40, 96} {
+		w := OmitWindows(inLen)
+		for k := 0; k <= w; k++ {
+			nextT := inLen - k*omitBlock
+			if nextT < 0 {
+				nextT = 0
+			}
+			if got := OmitWindowsDone(inLen, nextT); got != k {
+				t.Errorf("OmitWindowsDone(%d, %d) = %d, want %d", inLen, nextT, got, k)
+			}
+		}
+	}
+	// Chunk ends partition [0, W) monotonically and end at W.
+	for _, inLen := range []int{1, 17, 96, 200} {
+		for _, chunks := range []int{1, 2, 3, 7} {
+			prev := 0
+			for c := 0; c < chunks; c++ {
+				end := OmitChunkEnd(inLen, chunks, c)
+				if end < prev {
+					t.Errorf("OmitChunkEnd(%d, %d, %d) = %d below predecessor %d", inLen, chunks, c, end, prev)
+				}
+				prev = end
+			}
+			if prev != OmitWindows(inLen) {
+				t.Errorf("chunk ends for inLen=%d chunks=%d finish at %d, want %d",
+					inLen, chunks, prev, OmitWindows(inLen))
+			}
+		}
+	}
+}
+
+func TestComposeKeptAndMasks(t *testing.T) {
+	// outer keeps positions {0,2,3,5}; inner drops the 2nd of those.
+	composed, err := ComposeKept("101101", "1011")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if composed != "100101" {
+		t.Fatalf("ComposeKept = %q, want 100101", composed)
+	}
+	if n := CountKept(composed); n != 3 {
+		t.Fatalf("CountKept = %d, want 3", n)
+	}
+	if _, err := ComposeKept("101", "1"); err == nil {
+		t.Fatal("ComposeKept accepted a short inner mask")
+	}
+	if _, err := ComposeKept("101", "111"); err == nil {
+		t.Fatal("ComposeKept accepted a long inner mask")
+	}
+
+	sc, _, seq := fixture(t)
+	_ = sc
+	kept := make([]byte, len(seq))
+	for i := range kept {
+		if i%2 == 0 {
+			kept[i] = '1'
+		} else {
+			kept[i] = '0'
+		}
+	}
+	sub, err := ApplyMask(seq, string(kept))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sub) != (len(seq)+1)/2 {
+		t.Fatalf("ApplyMask kept %d of %d", len(sub), len(seq))
+	}
+	for i := range sub {
+		if sub[i].String() != seq[2*i].String() {
+			t.Fatalf("ApplyMask vector %d is not input vector %d", i, 2*i)
+		}
+	}
+	if _, err := ApplyMask(seq, "1"); err == nil {
+		t.Fatal("ApplyMask accepted a mask of the wrong length")
+	}
+}
+
+// TestChunkedRestoreThenOmitMatchesReference: the chunk-chain protocol
+// reproduces the single-pass pipeline bit for bit at every chunk
+// count, with identical semantic stats.
+func TestChunkedRestoreThenOmitMatchesReference(t *testing.T) {
+	sc, faults, seq := fixture(t)
+	seq = padded(sc, seq)
+	wantR, wantO, _, wantOst := RestoreThenOmitOpts(sc.Scan, seq, faults, Options{Workers: 1})
+	for _, chunks := range []int{1, 2, 3, 5} {
+		restored, omitted, _, ost, err := ChunkedRestoreThenOmit(sc.Scan, seq, faults, Options{Workers: 1}, chunks)
+		if err != nil {
+			t.Fatalf("chunks=%d: %v", chunks, err)
+		}
+		if len(restored) != len(wantR) {
+			t.Fatalf("chunks=%d: restored %d vectors, want %d", chunks, len(restored), len(wantR))
+		}
+		if len(omitted) != len(wantO) {
+			t.Fatalf("chunks=%d: omitted %d vectors, want %d", chunks, len(omitted), len(wantO))
+		}
+		for i := range omitted {
+			if omitted[i].String() != wantO[i].String() {
+				t.Fatalf("chunks=%d: vector %d differs from reference", chunks, i)
+			}
+		}
+		gotSem := [4]int{ost.BeforeLen, ost.AfterLen, ost.TargetFaults, ost.ExtraDetected}
+		wantSem := [4]int{wantOst.BeforeLen, wantOst.AfterLen, wantOst.TargetFaults, wantOst.ExtraDetected}
+		if gotSem != wantSem {
+			t.Fatalf("chunks=%d: omit stats %v, want %v", chunks, gotSem, wantSem)
+		}
+	}
+}
+
+// TestOmitChunkAlreadyDone: re-running a chunk whose share is already
+// in the checkpoint (a reclaimed lease after the worker finished but
+// before it reported) is an immediate no-op with chunkDone true.
+func TestOmitChunkAlreadyDone(t *testing.T) {
+	sc, faults, seq := fixture(t)
+	restored, rst := RestoreOpts(sc.Scan, seq, faults, Options{Workers: 1})
+	if !rst.Status.Done() {
+		t.Fatalf("restore status %v", rst.Status)
+	}
+	store := runctl.NewMemStore()
+	opts := Options{Workers: 1, Control: &runctl.Control{Store: store}}
+	if _, _, chunkDone, err := OmitChunkOpts(sc.Scan, restored, faults, opts, 0, 2); err != nil || !chunkDone {
+		t.Fatalf("chunk 0 first run: done=%v err=%v", chunkDone, err)
+	}
+	opts.Control = &runctl.Control{Store: store}
+	out, st, chunkDone, err := OmitChunkOpts(sc.Scan, restored, faults, opts, 0, 2)
+	if err != nil || !chunkDone {
+		t.Fatalf("chunk 0 re-run: done=%v err=%v", chunkDone, err)
+	}
+	if out != nil || st.Simulations != 0 {
+		t.Fatalf("re-run did work: out=%d vectors, %d simulations", len(out), st.Simulations)
+	}
+	// Missing store is a usage error, not a crash.
+	if _, _, _, err := OmitChunkOpts(sc.Scan, restored, faults, Options{Workers: 1}, 0, 2); err == nil {
+		t.Fatal("OmitChunkOpts accepted a nil store")
+	}
+	if _, _, _, err := OmitChunkOpts(sc.Scan, restored, faults, opts, 5, 2); err == nil {
+		t.Fatal("OmitChunkOpts accepted an out-of-range chunk")
+	}
+}

@@ -32,6 +32,12 @@ func (e *APIError) Error() string {
 	return fmt.Sprintf("jobs: server returned %d: %s", e.Code, e.Message)
 }
 
+// Is maps a 410 response onto ErrLeaseGone so lease-protocol callers
+// can use errors.Is across the wire.
+func (e *APIError) Is(target error) bool {
+	return target == ErrLeaseGone && e.Code == http.StatusGone
+}
+
 func (c *Client) httpClient() *http.Client {
 	if c.HTTP != nil {
 		return c.HTTP
@@ -198,6 +204,85 @@ func (c *Client) Events(ctx context.Context, id string) (io.ReadCloser, error) {
 		return nil, apiError(resp.StatusCode, data)
 	}
 	return resp.Body, nil
+}
+
+// Claim leases the next claimable task for worker. A nil Assignment
+// with nil error means the queue has nothing claimable right now.
+func (c *Client) Claim(ctx context.Context, worker string) (*Assignment, error) {
+	payload, err := json.Marshal(claimRequest{Worker: worker})
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.url("v1", "worker", "claim"), bytes.NewReader(payload))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode == http.StatusNoContent {
+		return nil, nil
+	}
+	if resp.StatusCode/100 != 2 {
+		return nil, apiError(resp.StatusCode, data)
+	}
+	var a Assignment
+	if err := json.Unmarshal(data, &a); err != nil {
+		return nil, err
+	}
+	return &a, nil
+}
+
+// Heartbeat renews a lease, uploading the worker's current checkpoint
+// bytes, and returns the TTL to heartbeat within. ErrLeaseGone (via
+// errors.Is) means the task was reclaimed.
+func (c *Client) Heartbeat(ctx context.Context, token string, ckpt []byte) (time.Duration, error) {
+	payload, err := json.Marshal(leaseUpdate{Checkpoint: ckpt})
+	if err != nil {
+		return 0, err
+	}
+	var out struct {
+		TTLMS int64 `json:"ttl_ms"`
+	}
+	if err := c.do(ctx, http.MethodPost, c.url("v1", "worker", "claims", token, "heartbeat"), bytes.NewReader(payload), &out); err != nil {
+		return 0, err
+	}
+	return time.Duration(out.TTLMS) * time.Millisecond, nil
+}
+
+// CompleteClaim uploads a leased task's result and final checkpoint.
+func (c *Client) CompleteClaim(ctx context.Context, token string, res *taskResult, ckpt []byte) error {
+	payload, err := json.Marshal(resultUpload{Result: res, Checkpoint: ckpt})
+	if err != nil {
+		return err
+	}
+	return c.do(ctx, http.MethodPost, c.url("v1", "worker", "claims", token, "result"), bytes.NewReader(payload), nil)
+}
+
+// ReleaseClaim hands a leased task back (graceful shutdown), uploading
+// the checkpoint the next claimant resumes from.
+func (c *Client) ReleaseClaim(ctx context.Context, token string, ckpt []byte) error {
+	payload, err := json.Marshal(leaseUpdate{Checkpoint: ckpt})
+	if err != nil {
+		return err
+	}
+	return c.do(ctx, http.MethodPost, c.url("v1", "worker", "claims", token, "release"), bytes.NewReader(payload), nil)
+}
+
+// Workers lists the live leases — the fleet half of `scanctl top`.
+func (c *Client) Workers(ctx context.Context) ([]WorkerInfo, error) {
+	var out []WorkerInfo
+	if err := c.do(ctx, http.MethodGet, c.url("v1", "workers"), nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // Watch streams the job's events to w (nil: discard) until the stream

@@ -19,15 +19,34 @@ import (
 )
 
 // task is one schedulable unit of a job: a whole circuit run
-// (generate/translate flows) or one fault shard of a circuit
-// (simulate flow). Workers claim tasks from the queue; tasks of one
-// job carry disjoint work, so any number of workers can run one job
-// concurrently.
+// (generate/translate flows), one fault shard of a circuit (simulate
+// flow), or one stage of a circuit's compaction chain (compact flow:
+// the restoration pass, then each omission window chunk). Workers —
+// in-process or remote scanworker processes — claim tasks from the
+// queue; tasks with no dependency between them carry disjoint work, so
+// any number of workers can run one job concurrently, while a compact
+// circuit's chain enqueues each link only when its predecessor
+// completes.
 type task struct {
 	job     *job
 	idx     int
 	circuit string
 	shard   sim.FaultRange // simulate flow only
+
+	// chunk is the omission window-chunk index for compact-flow omit
+	// tasks; -1 marks every other task (including the restore stage).
+	chunk int
+	// restoreIdx is the index of the circuit's restore task (compact
+	// omit chunks only) — the task whose result carries the restored
+	// kept mask.
+	restoreIdx int
+	// deps lists task indices that must complete before this task may
+	// be claimed.
+	deps []int
+	// retried marks a task re-enqueued in the same leg after its
+	// worker's lease expired: the re-run resumes from the reclaimed
+	// checkpoint and must not re-fire deterministic-interrupt hooks.
+	retried bool
 }
 
 // taskResult is the per-task deliverable, persisted as
@@ -46,6 +65,26 @@ type taskResult struct {
 	// Faults is the shard's circuit-wide fault-universe size, pinned so
 	// result assembly never depends on re-deriving it.
 	Faults int `json:"faults,omitempty"`
+	// Kept is a compact-flow kept mask over the input sequence: the
+	// restore task's restoration mask, or the final omit chunk's fully
+	// compacted mask (restoration ∘ omission). Omit chunks read their
+	// circuit's restore-task Kept to rebuild the restored sequence.
+	Kept string `json:"kept,omitempty"`
+	// Compact carries a compact-flow stage's semantic stats.
+	Compact *compactTaskStats `json:"compact,omitempty"`
+}
+
+// compactTaskStats is the deterministic, scheduling-free part of a
+// compaction stage's Stats — what result assembly folds into the job's
+// CompactResult rows. Work accounting (Simulations, BatchSteps) stays
+// out: chunked runs re-simulate per chunk, so it is the one part of
+// Stats that legitimately varies with omit_shards.
+type compactTaskStats struct {
+	TargetFaults int `json:"target_faults,omitempty"`
+	RestoredLen  int `json:"restored_len,omitempty"`
+	RestoreExtra int `json:"restore_extra,omitempty"`
+	CompactedLen int `json:"compacted_len,omitempty"`
+	OmitExtra    int `json:"omit_extra,omitempty"`
 }
 
 // job is the server-side state of one submission. All mutable fields
@@ -57,9 +96,10 @@ type job struct {
 
 	status    Status
 	tasks     []*task
-	pending   int  // tasks not yet reported in the current leg
-	canceled  bool // explicit cancel request (vs. budget/drain stop)
-	legClosed bool // no further task of this leg may start
+	pending   int    // enqueued-or-running tasks not yet reported this leg
+	enq       []bool // per-task: enqueued at least once this leg
+	canceled  bool   // explicit cancel request (vs. budget/drain stop)
+	legClosed bool   // no further task of this leg may start
 	resumeLeg bool
 
 	ctx    context.Context
@@ -83,35 +123,53 @@ func (j *job) taskResultPath(i int) string {
 }
 
 // buildTasks expands a validated spec into its task list: one task per
-// circuit, or one per (circuit, fault shard) for the simulate flow.
+// circuit, one per (circuit, fault shard) for the simulate flow, or a
+// restore-then-omit-chunks chain per circuit for the compact flow.
 // Simulate partitioning needs each circuit's fault-universe size, so
 // the circuits are instantiated here once, at submit time.
 func buildTasks(j *job) error {
 	sp := &j.status.Spec
 	for _, name := range sp.Circuits {
-		if sp.Flow != FlowSimulate {
-			j.addTask(name, name, sim.FaultRange{})
-			continue
-		}
-		_, faults, err := simWorkload(name, sp)
-		if err != nil {
-			return err
-		}
-		for i, r := range sim.PartitionFaults(len(faults), sp.partitions()) {
-			taskName := name
-			if sp.partitions() > 1 {
-				taskName = fmt.Sprintf("%s/shard-%d", name, i)
+		switch sp.Flow {
+		case FlowSimulate:
+			_, faults, err := simWorkload(name, sp)
+			if err != nil {
+				return err
 			}
-			j.addTask(taskName, name, r)
+			for i, r := range sim.PartitionFaults(len(faults), sp.partitions()) {
+				taskName := name
+				if sp.partitions() > 1 {
+					taskName = fmt.Sprintf("%s/shard-%d", name, i)
+				}
+				j.addTask(taskName, name, r)
+			}
+		case FlowCompact:
+			// The chain: restoration first, then each omission window
+			// chunk depending on its predecessor. Chunk k's checkpoint
+			// store is seeded from chunk k-1's, so any worker — local or
+			// remote — continues the grid exactly where the previous
+			// chunk's checkpoint left it.
+			ri := j.addTask(name+"/restore", name, sim.FaultRange{}).idx
+			prev := ri
+			for k := 0; k < sp.omitShards(); k++ {
+				t := j.addTask(fmt.Sprintf("%s/omit-%d", name, k), name, sim.FaultRange{})
+				t.chunk = k
+				t.restoreIdx = ri
+				t.deps = []int{prev}
+				prev = t.idx
+			}
+		default:
+			j.addTask(name, name, sim.FaultRange{})
 		}
 	}
 	return nil
 }
 
-func (j *job) addTask(name, circuit string, r sim.FaultRange) {
-	t := &task{job: j, idx: len(j.tasks), circuit: circuit, shard: r}
+func (j *job) addTask(name, circuit string, r sim.FaultRange) *task {
+	t := &task{job: j, idx: len(j.tasks), circuit: circuit, shard: r, chunk: -1}
 	j.tasks = append(j.tasks, t)
 	j.status.Tasks = append(j.status.Tasks, TaskStatus{Name: name})
+	return t
 }
 
 // simWorkload instantiates the simulate flow's deterministic inputs for
@@ -162,13 +220,14 @@ func (j *job) openLeg(resume bool) error {
 	})
 
 	j.pending = 0
+	j.enq = make([]bool, len(j.tasks))
 	for i := range j.status.Tasks {
 		if !j.status.Tasks[i].Done {
-			j.pending++
 			j.status.Tasks[i].Started = false
 			j.status.Tasks[i].Status = runctl.Complete
 			j.status.Tasks[i].Error = ""
 		}
+		j.tasks[i].retried = false
 	}
 	j.status.Finished = ""
 	j.status.Error = ""
@@ -177,14 +236,34 @@ func (j *job) openLeg(resume bool) error {
 	return nil
 }
 
-// enqueue pushes every unfinished task onto the server queue. Called
-// with the server lock held.
+// enqueue pushes every ready unfinished task onto the server queue; a
+// task blocked on an unfinished dependency is enqueued later, by its
+// predecessor's taskFinished. pending counts only enqueued tasks —
+// dependents of a task that stops short of completion are never
+// enqueued and never counted, so the leg settles (suspended, resumable)
+// the moment every task that could run has reported. Called with the
+// server lock held.
 func (j *job) enqueue() {
-	for i, t := range j.tasks {
-		if !j.status.Tasks[i].Done {
-			j.srv.q.push(t)
+	for i := range j.tasks {
+		j.maybeEnqueueLocked(i)
+	}
+}
+
+// maybeEnqueueLocked pushes task i when it is ready: unfinished, not
+// yet enqueued this leg, every dependency complete, and the leg still
+// open. Called with the server lock held.
+func (j *job) maybeEnqueueLocked(i int) {
+	if j.legClosed || j.enq[i] || j.status.Tasks[i].Done {
+		return
+	}
+	for _, d := range j.tasks[i].deps {
+		if !j.status.Tasks[d].Done {
+			return
 		}
 	}
+	j.enq[i] = true
+	j.pending++
+	j.srv.q.push(j.tasks[i])
 }
 
 // runTask executes one claimed task end to end on a worker goroutine.
@@ -201,7 +280,7 @@ func (j *job) runTask(t *task) {
 	if j.status.State == StateQueued {
 		j.status.State = StateRunning
 	}
-	resume := j.resumeLeg
+	resume := j.resumeLeg || t.retried
 	ctx := j.ctx
 	rec := j.rec
 	j.persistStatusLocked()
@@ -209,19 +288,27 @@ func (j *job) runTask(t *task) {
 
 	rec.Event("job", "task_start", obs.F("task", ts.Name))
 	sp := &j.status.Spec
+	if err := j.seedChunkCheckpoint(t); err != nil {
+		j.taskFinished(t.idx, &taskResult{Status: runctl.Failed, Error: "seed checkpoint: " + err.Error()})
+		return
+	}
 	ctl := &runctl.Control{
 		Budget: runctl.Budget{
 			Ctx:         ctx,
 			MaxAttempts: sp.MaxAttempts,
 			MaxTrials:   sp.MaxTrials,
 		},
-		Store:     runctl.NewFileStore(j.ckptPath(t.idx)),
-		Resume:    resume,
+		Store: runctl.NewFileStore(j.ckptPath(t.idx)),
+		// Compact tasks always resume: their store may hold a
+		// predecessor chunk's checkpoint even on the initial leg, and
+		// an empty store is simply a fresh start.
+		Resume:    resume || sp.Flow == FlowCompact,
 		SaveEvery: 8,
 	}
 	if !resume {
 		// The deterministic-interrupt hook fires on the initial leg
-		// only; a resume leg must be able to run to completion.
+		// only (and never on a lease-reclaim re-run); a resumed task
+		// must be able to run to completion.
 		ctl.Budget.StopAfterPolls = sp.StopAfterPolls
 	}
 	res := j.execute(t, ctl, rec)
@@ -231,9 +318,27 @@ func (j *job) runTask(t *task) {
 	j.taskFinished(t.idx, res)
 }
 
-// execute dispatches a task to its flow.
+// execute dispatches a task to its flow, reading the compact flow's
+// restoration mask from the job directory first; the flow itself runs
+// in executeFlow, the code path remote workers share.
 func (j *job) execute(t *task, ctl *runctl.Control, rec obs.Observer) *taskResult {
 	sp := &j.status.Spec
+	restoredKept := ""
+	if sp.Flow == FlowCompact && t.chunk >= 0 {
+		// The restored kept mask is in the (completed, by dependency
+		// order) restore task's persisted result.
+		var rr taskResult
+		if err := readJSONFile(j.taskResultPath(t.restoreIdx), &rr); err != nil {
+			return &taskResult{Status: runctl.Failed, Error: "restore result: " + err.Error()}
+		}
+		restoredKept = rr.Kept
+	}
+	return executeFlow(sp, t.circuit, t.shard, t.chunk, restoredKept, ctl, rec)
+}
+
+// executeFlow runs one task from plain inputs, with no job or server
+// state: the in-process pool and remote scanworkers both end up here.
+func executeFlow(sp *Spec, circuit string, shard sim.FaultRange, chunk int, restoredKept string, ctl *runctl.Control, rec obs.Observer) *taskResult {
 	switch sp.Flow {
 	case FlowGenerate, FlowTranslate:
 		cfg := core.Config{
@@ -249,28 +354,57 @@ func (j *job) execute(t *task, ctl *runctl.Control, rec obs.Observer) *taskResul
 			Obs:            rec,
 		}
 		if sp.Flow == FlowGenerate {
-			row, _, err := core.RunGenerate(t.circuit, cfg)
+			row, _, err := core.RunGenerate(circuit, cfg)
 			return flowResult(row.Status, err, &taskResult{Generate: &row})
 		}
-		row, _, err := core.RunTranslate(t.circuit, cfg)
+		row, _, err := core.RunTranslate(circuit, cfg)
 		return flowResult(row.Status, err, &taskResult{Translate: &row})
 	case FlowSimulate:
-		d, faults, err := simWorkload(t.circuit, sp)
+		d, faults, err := simWorkload(circuit, sp)
 		if err != nil {
 			return &taskResult{Status: runctl.Failed, Error: err.Error()}
 		}
 		seq := TestSequence(d, sp.seed(), sp.seqLen())
 		s := sim.NewSimulator(d.Scan, sp.Workers)
 		s.Observe(rec)
-		res := RunShard(s, seq, faults, t.shard, sim.Options{Control: ctl})
+		res := RunShard(s, seq, faults, shard, sim.Options{Control: ctl})
 		out := &taskResult{Status: res.Status, DetectedAt: res.DetectedAt, Faults: len(faults)}
 		if res.Err != nil {
 			out.Error = res.Err.Error()
 			out.Status = runctl.Failed
 		}
 		return out
+	case FlowCompact:
+		return executeCompact(sp, circuit, chunk, restoredKept, ctl, rec)
 	}
 	return &taskResult{Status: runctl.Failed, Error: "jobs: unknown flow " + sp.Flow}
+}
+
+// seedChunkCheckpoint copies the predecessor omission chunk's
+// checkpoint file into an omit task's own store when the task has none
+// yet — how chunk k picks up the grid exactly where chunk k-1 stopped.
+// A task that already has a checkpoint (its own interrupted or
+// reclaimed run) keeps it: it is never older than the predecessor's.
+func (j *job) seedChunkCheckpoint(t *task) error {
+	if t.chunk <= 0 {
+		return nil
+	}
+	own := j.ckptPath(t.idx)
+	if _, err := os.Stat(own); err == nil {
+		return nil
+	}
+	data, err := os.ReadFile(j.ckptPath(t.deps[0]))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	tmp := own + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, own)
 }
 
 // flowResult normalizes a core flow's (status, err) pair.
@@ -283,18 +417,30 @@ func flowResult(st runctl.Status, err error, res *taskResult) *taskResult {
 	return res
 }
 
-// taskFinished records one task's outcome, persists it, and settles the
-// job when it was the last reporting task of the leg. A stopped task's
-// partial state stays in task-<idx>.ckpt for the next resume leg.
+// taskFinished records one task's outcome, persists it, enqueues any
+// dependents the completion unblocked, and settles the job when it was
+// the last reporting task of the leg. A stopped task's partial state
+// stays in task-<idx>.ckpt for the next resume leg.
 func (j *job) taskFinished(idx int, res *taskResult) {
 	j.srv.mu.Lock()
 	defer j.srv.mu.Unlock()
+	j.taskFinishedLocked(idx, res)
+}
+
+func (j *job) taskFinishedLocked(idx int, res *taskResult) {
 	ts := &j.status.Tasks[idx]
 	ts.Status = res.Status
 	ts.Error = res.Error
 	if res.Status.Done() {
 		ts.Done = true
 		writeJSONFile(j.taskResultPath(idx), res)
+		for _, t := range j.tasks {
+			for _, d := range t.deps {
+				if d == idx {
+					j.maybeEnqueueLocked(t.idx)
+				}
+			}
+		}
 	}
 	j.pending--
 	j.persistStatusLocked()
@@ -315,20 +461,25 @@ func (j *job) closeLegLocked() {
 	}
 	j.legClosed = true
 	j.cancel()
+	// Write off enqueued-but-unclaimed tasks (the caller already made
+	// them unclaimable) and remotely leased ones: a remote worker gets
+	// 410 Gone at its next heartbeat and may never report back, so the
+	// leg cannot wait on it. Its checkpoint stays for the next leg.
 	unclaimed := 0
 	for i := range j.status.Tasks {
 		ts := &j.status.Tasks[i]
-		if !ts.Done && !ts.Started {
+		if j.enq[i] && !ts.Done && !ts.Started {
 			unclaimed++
 		}
 	}
-	j.pending -= unclaimed
+	j.pending -= unclaimed + j.srv.dropJobLeasesLocked(j)
 	if j.pending <= 0 {
 		j.pending = 0
 		j.settleLocked()
 	}
-	// Otherwise in-flight tasks observe the cancellation at their next
-	// poll, report via taskFinished, and the last one settles the leg.
+	// Otherwise in-flight local tasks observe the cancellation at their
+	// next poll, report via taskFinished, and the last one settles the
+	// leg.
 }
 
 // settleLocked closes out the current leg once no task remains
@@ -406,6 +557,36 @@ func (j *job) assembleResultLocked() error {
 				}
 			}
 			res.Simulate = append(res.Simulate, *sr)
+		}
+	case FlowCompact:
+		// Per circuit: the restore task's result carries the restoration
+		// stats, the final omit chunk's carries the compacted mask and
+		// omission stats. Intermediate chunks contribute nothing — their
+		// whole output is the checkpoint the next chunk consumed — so
+		// the assembled result is independent of omit_shards by
+		// construction.
+		stride := 1 + sp.omitShards()
+		for ci, name := range sp.Circuits {
+			var rr, fr taskResult
+			if err := readJSONFile(j.taskResultPath(ci*stride), &rr); err != nil {
+				return err
+			}
+			if err := readJSONFile(j.taskResultPath(ci*stride+stride-1), &fr); err != nil {
+				return err
+			}
+			if rr.Compact == nil || fr.Compact == nil {
+				return fmt.Errorf("compact results for %s are incomplete", name)
+			}
+			res.Compact = append(res.Compact, CompactResult{
+				Circuit:       name,
+				SeqLen:        sp.seqLen(),
+				Faults:        rr.Faults,
+				TargetFaults:  rr.Compact.TargetFaults,
+				RestoredLen:   rr.Compact.RestoredLen,
+				CompactedLen:  fr.Compact.CompactedLen,
+				ExtraDetected: rr.Compact.RestoreExtra + fr.Compact.OmitExtra,
+				Kept:          fr.Kept,
+			})
 		}
 	default:
 		for i := range j.tasks {

@@ -1,0 +1,362 @@
+package jobs
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/runctl"
+)
+
+// The worker-claim protocol lets scanworker processes on other machines
+// drain the same queue the in-process pool does. A claim leases one
+// task under a TTL; the worker heartbeats to renew, uploading its
+// current checkpoint bytes so the server always holds the task's latest
+// resumable state. A worker that stops heartbeating — crashed, killed,
+// partitioned — loses the lease to the janitor, which re-queues the
+// task marked retried: the next claimant (local or remote) resumes from
+// the uploaded checkpoint, and because every engine's resume is
+// bit-identical, the job's final result is byte-identical to one
+// computed without the crash. Late uploads under a reclaimed lease get
+// ErrLeaseGone (HTTP 410) and are discarded, so a slow-but-alive worker
+// can never double-report a task.
+
+// lease is one remotely claimed task's server-side record.
+type lease struct {
+	token   string
+	worker  string
+	t       *task
+	expires time.Time
+}
+
+// claimRequest is the claim endpoint's body.
+type claimRequest struct {
+	Worker string `json:"worker"`
+}
+
+// leaseUpdate is the heartbeat/release body: optional checkpoint bytes
+// (JSON base64) persisted to the task's server-side store.
+type leaseUpdate struct {
+	Checkpoint []byte `json:"checkpoint,omitempty"`
+}
+
+// resultUpload is the result endpoint's body.
+type resultUpload struct {
+	Result     *taskResult `json:"result"`
+	Checkpoint []byte      `json:"checkpoint,omitempty"`
+}
+
+// Assignment is a leased task's self-contained work order: everything a
+// worker with no access to the server's data directory needs to run the
+// task and nothing else. Checkpoint carries the task's current
+// server-side store (its own interrupted state, or for an omission
+// chunk the predecessor chunk's final checkpoint); RestoredKept carries
+// the compact flow's restoration mask.
+type Assignment struct {
+	Lease string `json:"lease"`
+	TTLMS int64  `json:"ttl_ms"`
+	Job   string `json:"job"`
+	Task  int    `json:"task"`
+	Name  string `json:"name"`
+	Spec  Spec   `json:"spec"`
+
+	Circuit    string `json:"circuit"`
+	ShardStart int    `json:"shard_start,omitempty"`
+	ShardEnd   int    `json:"shard_end,omitempty"`
+	// Chunk is the omission chunk index; -1 for every non-chunk task.
+	Chunk        int    `json:"chunk"`
+	RestoredKept string `json:"restored_kept,omitempty"`
+
+	Checkpoint []byte `json:"checkpoint,omitempty"`
+	Resume     bool   `json:"resume"`
+	// StopAfterPolls/TimeoutMS are the task-effective budget values the
+	// server would have applied locally (initial-leg interrupt hook;
+	// remaining job wall clock).
+	StopAfterPolls int64 `json:"stop_after_polls,omitempty"`
+	TimeoutMS      int64 `json:"timeout_ms,omitempty"`
+}
+
+// ClaimTask leases the next claimable task to worker. A nil Assignment
+// (and nil error) means the queue has nothing claimable right now.
+func (s *Server) ClaimTask(worker string) (*Assignment, error) {
+	if worker == "" {
+		return nil, &SpecError{Field: "worker", Reason: "empty worker name"}
+	}
+	for {
+		s.mu.Lock()
+		if s.draining {
+			s.mu.Unlock()
+			return nil, ErrDraining
+		}
+		s.mu.Unlock()
+		t, ok := s.q.tryPop()
+		if !ok {
+			return nil, nil
+		}
+		if a, live := s.leaseTask(worker, t); live {
+			return a, nil
+		}
+		// The claimed task belonged to a closed or finished leg; its
+		// quota slot was returned — keep scanning.
+	}
+}
+
+// leaseTask registers a lease for a popped task and builds its
+// Assignment. It reports false (releasing the quota slot) when the task
+// is no longer runnable.
+func (s *Server) leaseTask(worker string, t *task) (*Assignment, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j := t.job
+	tenant := j.status.Spec.Tenant
+	ts := &j.status.Tasks[t.idx]
+	if ts.Done || j.legClosed {
+		s.q.release(tenant)
+		return nil, false
+	}
+	sp := &j.status.Spec
+	a := &Assignment{
+		TTLMS:      s.leaseTTL.Milliseconds(),
+		Job:        j.status.ID,
+		Task:       t.idx,
+		Name:       ts.Name,
+		Spec:       j.status.clone().Spec,
+		Circuit:    t.circuit,
+		ShardStart: t.shard.Start,
+		ShardEnd:   t.shard.End,
+		Chunk:      t.chunk,
+	}
+	resume := j.resumeLeg || t.retried
+	a.Resume = resume || sp.Flow == FlowCompact
+	if !resume {
+		a.StopAfterPolls = sp.StopAfterPolls
+	}
+	if deadline, ok := j.ctx.Deadline(); ok {
+		ms := time.Until(deadline).Milliseconds()
+		if ms < 1 {
+			ms = 1
+		}
+		a.TimeoutMS = ms
+	}
+	if err := j.seedChunkCheckpoint(t); err != nil {
+		s.q.release(tenant)
+		j.taskFinishedLocked(t.idx, &taskResult{Status: runctl.Failed, Error: "seed checkpoint: " + err.Error()})
+		return nil, false
+	}
+	if t.chunk >= 0 {
+		var rr taskResult
+		if err := readJSONFile(j.taskResultPath(t.restoreIdx), &rr); err != nil {
+			s.q.release(tenant)
+			j.taskFinishedLocked(t.idx, &taskResult{Status: runctl.Failed, Error: "restore result: " + err.Error()})
+			return nil, false
+		}
+		a.RestoredKept = rr.Kept
+	}
+	if data, err := os.ReadFile(j.ckptPath(t.idx)); err == nil {
+		a.Checkpoint = data
+	}
+	ts.Started = true
+	if j.status.State == StateQueued {
+		j.status.State = StateRunning
+	}
+	s.leaseSeq++
+	a.Lease = fmt.Sprintf("lease-%06d", s.leaseSeq)
+	s.leases[a.Lease] = &lease{
+		token:   a.Lease,
+		worker:  worker,
+		t:       t,
+		expires: s.testNow().Add(s.leaseTTL),
+	}
+	j.persistStatusLocked()
+	j.rec.Event("job", "task_claimed",
+		obs.F("task", ts.Name), obs.F("worker", worker), obs.F("lease", a.Lease))
+	return a, true
+}
+
+// HeartbeatLease renews a lease and persists the worker's uploaded
+// checkpoint bytes, returning the TTL the worker should heartbeat
+// within. ErrLeaseGone tells the worker the task was reclaimed.
+func (s *Server) HeartbeatLease(token string, ckpt []byte) (time.Duration, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	l, ok := s.leases[token]
+	if !ok {
+		return 0, ErrLeaseGone
+	}
+	l.expires = s.testNow().Add(s.leaseTTL)
+	if len(ckpt) > 0 {
+		if err := writeFileAtomic(l.t.job.ckptPath(l.t.idx), ckpt); err != nil {
+			return 0, err
+		}
+	}
+	return s.leaseTTL, nil
+}
+
+// CompleteLease accepts a leased task's final result (and final
+// checkpoint bytes, which the next chunk of a compact chain consumes),
+// finishing the task exactly as a local worker would.
+func (s *Server) CompleteLease(token string, res *taskResult, ckpt []byte) error {
+	s.mu.Lock()
+	l, ok := s.leases[token]
+	if !ok {
+		s.mu.Unlock()
+		return ErrLeaseGone
+	}
+	delete(s.leases, token)
+	t := l.t
+	j := t.job
+	tenant := j.status.Spec.Tenant
+	if len(ckpt) > 0 {
+		if err := writeFileAtomic(j.ckptPath(t.idx), ckpt); err != nil {
+			s.mu.Unlock()
+			s.q.release(tenant)
+			return err
+		}
+	}
+	j.rec.Event("job", "task_done",
+		obs.F("task", j.status.Tasks[t.idx].Name),
+		obs.F("status", res.Status.String()), obs.F("worker", l.worker))
+	j.taskFinishedLocked(t.idx, res)
+	s.mu.Unlock()
+	s.q.release(tenant)
+	return nil
+}
+
+// ReleaseLease hands a leased task back (graceful worker shutdown): the
+// uploaded checkpoint is persisted and the task re-queued as retried,
+// so the next claimant resumes where this worker stopped.
+func (s *Server) ReleaseLease(token string, ckpt []byte) error {
+	s.mu.Lock()
+	l, ok := s.leases[token]
+	if !ok {
+		s.mu.Unlock()
+		return ErrLeaseGone
+	}
+	delete(s.leases, token)
+	t := l.t
+	j := t.job
+	tenant := j.status.Spec.Tenant
+	if len(ckpt) > 0 {
+		if err := writeFileAtomic(j.ckptPath(t.idx), ckpt); err != nil {
+			s.mu.Unlock()
+			s.q.release(tenant)
+			return err
+		}
+	}
+	s.requeueLocked(l, "task_released")
+	s.mu.Unlock()
+	s.q.release(tenant)
+	return nil
+}
+
+// requeueLocked returns a dropped lease's task to the queue as retried.
+// Called with the server lock held, after the lease is deleted.
+func (s *Server) requeueLocked(l *lease, event string) {
+	t := l.t
+	j := t.job
+	ts := &j.status.Tasks[t.idx]
+	ts.Started = false
+	t.retried = true
+	j.rec.Event("job", event,
+		obs.F("task", ts.Name), obs.F("worker", l.worker), obs.F("lease", l.token))
+	j.persistStatusLocked()
+	if !j.legClosed && !ts.Done {
+		s.q.push(t)
+	}
+}
+
+// dropJobLeasesLocked discards every lease of one job (cancel/drain
+// closing the leg) and returns how many tasks were written off. Called
+// with the server lock held.
+func (s *Server) dropJobLeasesLocked(j *job) int {
+	n := 0
+	for token, l := range s.leases {
+		if l.t.job != j {
+			continue
+		}
+		delete(s.leases, token)
+		s.q.release(j.status.Spec.Tenant)
+		n++
+	}
+	return n
+}
+
+// janitor reclaims expired leases until Drain stops it.
+func (s *Server) janitor() {
+	defer close(s.janitorDone)
+	tick := s.leaseTTL / 4
+	if tick < 5*time.Millisecond {
+		tick = 5 * time.Millisecond
+	}
+	ticker := time.NewTicker(tick)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.janitorStop:
+			return
+		case <-ticker.C:
+			s.reclaimExpired()
+		}
+	}
+}
+
+// reclaimExpired re-queues every task whose lease ran out of heartbeat.
+func (s *Server) reclaimExpired() {
+	now := s.testNow()
+	var tenants []string
+	s.mu.Lock()
+	for token, l := range s.leases {
+		if l.expires.After(now) {
+			continue
+		}
+		delete(s.leases, token)
+		s.requeueLocked(l, "task_reclaimed")
+		tenants = append(tenants, l.t.job.status.Spec.Tenant)
+	}
+	s.mu.Unlock()
+	for _, tn := range tenants {
+		s.q.release(tn)
+	}
+}
+
+// WorkerInfo is one live lease in the fleet view.
+type WorkerInfo struct {
+	Worker string `json:"worker"`
+	Lease  string `json:"lease"`
+	Job    string `json:"job"`
+	Task   string `json:"task"`
+	// ExpiresMS is how long until the lease is reclaimed without a
+	// heartbeat.
+	ExpiresMS int64 `json:"expires_ms"`
+}
+
+// WorkersView lists the live leases, newest last — the fleet half of
+// `scanctl top`.
+func (s *Server) WorkersView() []WorkerInfo {
+	now := s.testNow()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]WorkerInfo, 0, len(s.leases))
+	for _, l := range s.leases {
+		out = append(out, WorkerInfo{
+			Worker:    l.worker,
+			Lease:     l.token,
+			Job:       l.t.job.status.ID,
+			Task:      l.t.job.status.Tasks[l.t.idx].Name,
+			ExpiresMS: l.expires.Sub(now).Milliseconds(),
+		})
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Lease < out[b].Lease })
+	return out
+}
+
+// writeFileAtomic writes raw bytes via temp-file-plus-rename.
+func writeFileAtomic(path string, data []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}

@@ -10,6 +10,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/obs"
 	"repro/internal/sim"
@@ -21,6 +22,9 @@ var (
 	ErrNotResumable = errors.New("jobs: job is not resumable")
 	ErrNoResult     = errors.New("jobs: job has no result yet")
 	ErrDraining     = errors.New("jobs: server is draining")
+	// ErrLeaseGone: the lease token is unknown or was reclaimed — the
+	// worker must abandon the task (HTTP 410).
+	ErrLeaseGone = errors.New("jobs: lease gone")
 )
 
 // Options configures a Server.
@@ -30,11 +34,20 @@ type Options struct {
 	// Jobs found here on startup are reloaded; ones that were mid-run
 	// when the previous process died come back suspended and resumable.
 	DataDir string
-	// Workers is the task worker count (<= 0: GOMAXPROCS). Each worker
-	// claims one task at a time from the tenant-fair queue, so up to
-	// Workers tasks — including disjoint fault shards of one job — run
-	// concurrently.
+	// Workers is the in-process task worker count (0: GOMAXPROCS;
+	// negative: none — every task is served to remote scanworker
+	// processes through the claim API). Each worker claims one task at
+	// a time from the tenant-fair queue, so up to Workers tasks —
+	// including disjoint fault shards of one job — run concurrently.
 	Workers int
+	// LeaseTTL bounds how long a remotely claimed task may go without a
+	// heartbeat before the server reclaims it and re-queues the task
+	// from its last uploaded checkpoint (0: 15s).
+	LeaseTTL time.Duration
+	// TenantQuota caps how many claimed-but-unfinished tasks one tenant
+	// may hold across local workers and remote claims combined (0:
+	// unlimited). A tenant at its quota is skipped, not failed.
+	TenantQuota int
 	// Logf, when set, receives startup warnings (e.g. an unreadable
 	// job.json being skipped).
 	Logf func(format string, args ...any)
@@ -57,9 +70,20 @@ type Server struct {
 	wg      sync.WaitGroup
 	workers int
 
+	// Remote-claim lease state (guarded by mu).
+	leases   map[string]*lease
+	leaseSeq int
+	leaseTTL time.Duration
+
+	janitorStop chan struct{}
+	janitorDone chan struct{}
+
 	// testTaskStart, when set (white-box tests only), runs on the
 	// worker goroutine after a task is claimed and before it starts.
 	testTaskStart func(*task)
+	// testNow, when set (white-box tests only), replaces time.Now for
+	// lease expiry.
+	testNow func() time.Time
 }
 
 // NewServer builds a Server over dataDir, reloads any persisted jobs,
@@ -72,20 +96,32 @@ func NewServer(opts Options) (*Server, error) {
 		return nil, err
 	}
 	workers := opts.Workers
-	if workers <= 0 {
+	if workers == 0 {
 		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers < 0 {
+		workers = 0
+	}
+	ttl := opts.LeaseTTL
+	if ttl <= 0 {
+		ttl = 15 * time.Second
 	}
 	logf := opts.Logf
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
 	s := &Server{
-		dataDir: opts.DataDir,
-		logf:    logf,
-		jobs:    make(map[string]*job),
-		nextID:  1,
-		q:       newQueue(),
-		workers: workers,
+		dataDir:     opts.DataDir,
+		logf:        logf,
+		jobs:        make(map[string]*job),
+		nextID:      1,
+		q:           newQueue(opts.TenantQuota),
+		workers:     workers,
+		leases:      make(map[string]*lease),
+		leaseTTL:    ttl,
+		janitorStop: make(chan struct{}),
+		janitorDone: make(chan struct{}),
+		testNow:     time.Now,
 	}
 	if err := s.loadExisting(); err != nil {
 		return nil, err
@@ -94,6 +130,7 @@ func NewServer(opts Options) (*Server, error) {
 		s.wg.Add(1)
 		go s.worker()
 	}
+	go s.janitor()
 	return s, nil
 }
 
@@ -111,6 +148,7 @@ func (s *Server) worker() {
 			hook(t)
 		}
 		t.job.runTask(t)
+		s.q.release(t.job.status.Spec.Tenant)
 	}
 }
 
@@ -388,6 +426,8 @@ func (s *Server) Drain() {
 		s.wg.Wait()
 		return
 	}
+	close(s.janitorStop)
+	<-s.janitorDone
 	s.q.close()
 	s.wg.Wait()
 	s.mu.Lock()
@@ -409,6 +449,8 @@ func httpError(w http.ResponseWriter, err error) {
 		code = http.StatusNotFound
 	case errors.Is(err, ErrNotResumable), errors.Is(err, ErrNoResult):
 		code = http.StatusConflict
+	case errors.Is(err, ErrLeaseGone):
+		code = http.StatusGone
 	case errors.Is(err, ErrDraining):
 		code = http.StatusServiceUnavailable
 	}
@@ -437,6 +479,15 @@ func writeJSON(w http.ResponseWriter, v any) {
 //	POST /v1/jobs/{id}/cancel           cancel (checkpointing, resumable)
 //	POST /v1/jobs/{id}/resume           resume from checkpoints
 //	GET  /healthz                       liveness
+//
+// plus the worker-claim API remote scanworker processes lease tasks
+// through (docs/ALGORITHMS.md §16):
+//
+//	POST /v1/worker/claim                     claim a task (204 = none)
+//	POST /v1/worker/claims/{token}/heartbeat  renew lease, upload checkpoint
+//	POST /v1/worker/claims/{token}/result     upload the finished result
+//	POST /v1/worker/claims/{token}/release    hand the task back (re-queued)
+//	GET  /v1/workers                          live lease/fleet view
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -510,6 +561,67 @@ func (s *Server) Handler() http.Handler {
 		}
 		w.Header().Set("Content-Type", "application/octet-stream")
 		w.Write(data)
+	})
+	mux.HandleFunc("POST /v1/worker/claim", func(w http.ResponseWriter, r *http.Request) {
+		var req claimRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, &SpecError{Field: "body", Reason: decodeReason(err)})
+			return
+		}
+		a, err := s.ClaimTask(req.Worker)
+		if err != nil {
+			httpError(w, err)
+			return
+		}
+		if a == nil {
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
+		writeJSON(w, a)
+	})
+	mux.HandleFunc("POST /v1/worker/claims/{token}/heartbeat", func(w http.ResponseWriter, r *http.Request) {
+		var req leaseUpdate
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, &SpecError{Field: "body", Reason: decodeReason(err)})
+			return
+		}
+		ttl, err := s.HeartbeatLease(r.PathValue("token"), req.Checkpoint)
+		if err != nil {
+			httpError(w, err)
+			return
+		}
+		writeJSON(w, map[string]any{"ttl_ms": ttl.Milliseconds()})
+	})
+	mux.HandleFunc("POST /v1/worker/claims/{token}/result", func(w http.ResponseWriter, r *http.Request) {
+		var req resultUpload
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, &SpecError{Field: "body", Reason: decodeReason(err)})
+			return
+		}
+		if req.Result == nil {
+			httpError(w, &SpecError{Field: "result", Reason: "missing"})
+			return
+		}
+		if err := s.CompleteLease(r.PathValue("token"), req.Result, req.Checkpoint); err != nil {
+			httpError(w, err)
+			return
+		}
+		writeJSON(w, map[string]any{"ok": true})
+	})
+	mux.HandleFunc("POST /v1/worker/claims/{token}/release", func(w http.ResponseWriter, r *http.Request) {
+		var req leaseUpdate
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, &SpecError{Field: "body", Reason: decodeReason(err)})
+			return
+		}
+		if err := s.ReleaseLease(r.PathValue("token"), req.Checkpoint); err != nil {
+			httpError(w, err)
+			return
+		}
+		writeJSON(w, map[string]any{"ok": true})
+	})
+	mux.HandleFunc("GET /v1/workers", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, s.WorkersView())
 	})
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	return mux

@@ -34,6 +34,7 @@ const (
 	FlowGenerate = "generate" // the paper's generation flow (core.RunGenerate)
 	FlowTranslate = "translate" // the translation flow (core.RunTranslate)
 	FlowSimulate = "simulate" // sharded fault simulation of a seeded sequence
+	FlowCompact = "compact" // restoration + chunked omission of a seeded sequence
 )
 
 // Spec is a job submission: which flow to run, over which circuits,
@@ -75,9 +76,20 @@ type Spec struct {
 	// can run one circuit concurrently (0/1 = unsharded). The merged
 	// result is bit-identical for every value.
 	Partitions int `json:"partitions,omitempty"`
-	// SeqLen is the FlowSimulate sequence length (0 = 128 vectors).
-	// The sequence is a pure function of (circuit, seed, seq_len).
+	// SeqLen is the FlowSimulate/FlowCompact sequence length (0 = 128
+	// vectors). The sequence is a pure function of (circuit, seed,
+	// seq_len).
 	SeqLen int `json:"seq_len,omitempty"`
+	// OmitShards splits each FlowCompact circuit's omission pass into
+	// this many chained window chunks, claimable by different workers as
+	// predecessors finish (0/1 = one omission task). The compacted
+	// result is bit-identical for every value.
+	OmitShards int `json:"omit_shards,omitempty"`
+	// Priority orders jobs across tenants: all claimable tasks of a
+	// higher priority run before any lower one; within a priority the
+	// queue stays tenant-fair. 0 is the default class; negative values
+	// mark background work.
+	Priority int `json:"priority,omitempty"`
 	// TimeoutMS, when positive, bounds the whole job's wall clock; on
 	// expiry in-flight tasks checkpoint and the job suspends resumable.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
@@ -112,7 +124,7 @@ func specErrf(field, format string, args ...any) error {
 }
 
 // validFlows in display order for error messages.
-var validFlows = []string{FlowGenerate, FlowTranslate, FlowSimulate}
+var validFlows = []string{FlowGenerate, FlowTranslate, FlowSimulate, FlowCompact}
 
 // Validate checks the spec structurally: known flow, known circuits,
 // parseable engine, non-negative budgets, and flow-specific fields only
@@ -155,8 +167,17 @@ func (s *Spec) Validate() error {
 	if s.SeqLen < 0 {
 		return specErrf("seq_len", "must be non-negative")
 	}
-	if s.SeqLen > 0 && s.Flow != FlowSimulate {
-		return specErrf("seq_len", "applies to the simulate flow only")
+	if s.SeqLen > 0 && s.Flow != FlowSimulate && s.Flow != FlowCompact {
+		return specErrf("seq_len", "applies to the simulate and compact flows only")
+	}
+	if s.OmitShards < 0 {
+		return specErrf("omit_shards", "must be non-negative")
+	}
+	if s.OmitShards > 1 && s.Flow != FlowCompact {
+		return specErrf("omit_shards", "omission sharding applies to the compact flow only")
+	}
+	if s.OmitShards > 256 {
+		return specErrf("omit_shards", "more than 256 shards")
 	}
 	for _, f := range []struct {
 		name string
@@ -227,6 +248,14 @@ func (s *Spec) partitions() int {
 		return 1
 	}
 	return s.Partitions
+}
+
+// omitShards returns the effective omission chunk count.
+func (s *Spec) omitShards() int {
+	if s.OmitShards <= 0 {
+		return 1
+	}
+	return s.OmitShards
 }
 
 // engine parses the validated engine name.

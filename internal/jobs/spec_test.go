@@ -30,7 +30,12 @@ func TestSpecValidate(t *testing.T) {
 			s.MaxTrials = 7
 			s.StopAfterPolls = 2
 		}, ""},
-		{"unknown flow", func(s *Spec) { s.Flow = "compact" }, "flow"},
+		{"valid compact sharded", func(s *Spec) {
+			s.Flow = FlowCompact
+			s.SeqLen = 16
+			s.OmitShards = 3
+		}, ""},
+		{"unknown flow", func(s *Spec) { s.Flow = "optimize" }, "flow"},
 		{"empty flow", func(s *Spec) { s.Flow = "" }, "flow"},
 		{"no circuits", func(s *Spec) { s.Circuits = nil }, "circuits"},
 		{"unknown circuit", func(s *Spec) { s.Circuits = []string{"s27", "b17"} }, "circuits"},
@@ -42,6 +47,9 @@ func TestSpecValidate(t *testing.T) {
 		{"partitions on generate", func(s *Spec) { s.Partitions = 2 }, "partitions"},
 		{"negative seq_len", func(s *Spec) { s.Flow = FlowSimulate; s.SeqLen = -5 }, "seq_len"},
 		{"seq_len on generate", func(s *Spec) { s.SeqLen = 32 }, "seq_len"},
+		{"negative omit_shards", func(s *Spec) { s.Flow = FlowCompact; s.OmitShards = -1 }, "omit_shards"},
+		{"omit_shards on generate", func(s *Spec) { s.OmitShards = 2 }, "omit_shards"},
+		{"oversized omit_shards", func(s *Spec) { s.Flow = FlowCompact; s.OmitShards = 300 }, "omit_shards"},
 		{"negative timeout", func(s *Spec) { s.TimeoutMS = -1 }, "timeout_ms"},
 		{"negative attempts", func(s *Spec) { s.MaxAttempts = -1 }, "max_attempts"},
 		{"negative trials", func(s *Spec) { s.MaxTrials = -1 }, "max_trials"},

@@ -137,17 +137,45 @@ type SimResult struct {
 	DetectedAt []int `json:"detected_at"`
 }
 
+// CompactResult is one circuit's compact-flow outcome: the paper's
+// Section 4 pipeline (restoration then omission) applied to the
+// circuit's seeded test sequence. Only semantic, scheduling-free
+// numbers appear — lengths, targets, extra detections and the final
+// kept mask — so the row is byte-identical at every omit_shards value
+// and worker topology.
+type CompactResult struct {
+	Circuit string `json:"circuit"`
+	// SeqLen and Faults pin the workload shape.
+	SeqLen int `json:"seq_len"`
+	Faults int `json:"faults"`
+	// TargetFaults is how many faults the input sequence detects (what
+	// compaction must preserve).
+	TargetFaults int `json:"target_faults"`
+	// RestoredLen / CompactedLen are the sequence lengths after
+	// restoration and after omission.
+	RestoredLen  int `json:"restored_len"`
+	CompactedLen int `json:"compacted_len"`
+	// ExtraDetected counts faults the compacted sequence detects that
+	// the input did not (summed over both passes).
+	ExtraDetected int `json:"extra_detected"`
+	// Kept marks the input positions surviving both passes ('1' each);
+	// applying it to the deterministic input sequence reproduces the
+	// compacted sequence exactly.
+	Kept string `json:"kept"`
+}
+
 // Result is a completed job's deliverable. It contains no timestamps,
-// no job ID and no scheduling detail (partition count, worker count):
-// two jobs running the same flow over the same circuits and seed
-// produce byte-identical result JSON no matter how the work was
-// sharded — the property the lifecycle tests and the xcheck invariant
-// lean on.
+// no job ID and no scheduling detail (partition count, worker count,
+// omission chunking): two jobs running the same flow over the same
+// circuits and seed produce byte-identical result JSON no matter how
+// the work was sharded — the property the lifecycle tests and the
+// xcheck invariants lean on.
 type Result struct {
 	Flow      string              `json:"flow"`
 	Generate  []core.GenerateRow  `json:"generate,omitempty"`
 	Translate []core.TranslateRow `json:"translate,omitempty"`
 	Simulate  []SimResult         `json:"simulate,omitempty"`
+	Compact   []CompactResult     `json:"compact,omitempty"`
 }
 
 // nowRFC3339 stamps status timestamps.

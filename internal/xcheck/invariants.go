@@ -36,6 +36,7 @@ func Invariants() []Invariant {
 		{"translate/guarantee", checkTranslateGuarantee},
 		{"store/failure-survival", checkStoreSurvival},
 		{"jobs/partition-merge", checkPartitionMerge},
+		{"jobs/worker-claim", checkWorkerClaim},
 	}
 }
 

@@ -309,23 +309,6 @@ const (
 // NewFileStore returns a checkpoint Store backed by one JSON file.
 func NewFileStore(path string) *FileStore { return runctl.NewFileStore(path) }
 
-// GenerateWithControl is Generate under a budget.
-//
-// Deprecated: GenerateOptions carries the Control directly — set
-// opts.Control and call Generate. This shim remains for one release.
-func GenerateWithControl(sc ScanDesign, faults []Fault, opts GenerateOptions, ctl *Control) GenerateResult {
-	opts.Control = ctl
-	return seqatpg.Generate(sc, faults, opts)
-}
-
-// CompactWithControl is Compact under a budget.
-//
-// Deprecated: CompactOptions carries the Control directly — set
-// opts.Control and call Compact. This shim remains for one release.
-func CompactWithControl(sc ScanDesign, seq Sequence, faults []Fault, ctl *Control) (Sequence, CompactionStats) {
-	return Compact(sc, seq, faults, CompactOptions{Control: ctl})
-}
-
 // Observability: the flight-recorder layer from the internal obs
 // package, re-exported so library users can watch a run the same way
 // the commands' -metrics/-debug-addr flags do. Every engine option
